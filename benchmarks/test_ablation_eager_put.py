@@ -1,0 +1,78 @@
+"""Ablation A2: LCI eager-data-in-handshake puts (§5.3.3).
+
+"If the message data is sufficiently small, then it can be sent eagerly
+inside the handshake message" — skipping the Direct rendezvous entirely.
+We disable the optimization and check that, on a workload dominated by
+small dataflows, it reduces end-to-end latency.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_table
+from repro.config import scaled_platform
+from repro.runtime import ParsecContext, TaskGraph
+from repro.units import KiB
+
+
+def small_flow_graph(n_flows=200, size=4 * KiB):
+    """Many small producer→consumer dataflows between two nodes."""
+    g = TaskGraph()
+    for i in range(n_flows):
+        t = g.add_task(node=0, duration=1e-6)
+        f = g.add_flow(t, size)
+        g.add_task(node=1, duration=1e-6, inputs=[f])
+    return g
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for eager_max in (0, 8 * KiB):
+        base = scaled_platform(num_nodes=2, cores_per_node=8)
+        platform = dataclasses.replace(
+            base,
+            runtime=dataclasses.replace(base.runtime, lci_eager_put_max=eager_max),
+        )
+        ctx = ParsecContext(platform, backend="lci")
+        out[eager_max] = ctx.run(small_flow_graph(), until=60.0)
+    return out
+
+
+def check_eager_reduces_latency(results):
+    with_eager = results[8 * KiB]
+    without = results[0]
+    assert with_eager.mean_flow_latency < without.mean_flow_latency
+
+
+def check_eager_reduces_makespan(results):
+    assert results[8 * KiB].makespan <= results[0].makespan * 1.02
+
+
+def test_ablation_eager_put(results, benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        rows = [
+            ("disabled" if k == 0 else "enabled",
+             f"{r.makespan * 1e3:.3f}", f"{r.mean_flow_latency * 1e6:.2f}")
+            for k, r in results.items()
+        ]
+        print()
+        print(
+            ascii_table(
+                ["eager put", "makespan (ms)", "e2e latency (us)"],
+                rows,
+                title="Ablation A2: LCI eager-data-in-handshake",
+            )
+        )
+    check_eager_reduces_latency(results)
+    check_eager_reduces_makespan(results)
+
+
+def test_eager_put_reduces_latency(results):
+    check_eager_reduces_latency(results)
+
+
+def test_eager_put_reduces_makespan(results):
+    check_eager_reduces_makespan(results)

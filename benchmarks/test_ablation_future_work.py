@@ -1,0 +1,90 @@
+"""Ablation A4 (§7 future work): native one-sided LCI put and multiple
+communication/progress threads.
+
+The paper's conclusion sketches two follow-ups: LCI features that
+"directly implement the PaRSEC put interface" and "multiple communication
+or progress threads to further reduce communication latency in
+highly-loaded scenarios".  Both are implemented as options; this bench
+quantifies them on the HiCMA workload.
+"""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_table
+from repro.bench.hicma_bench import HicmaConfig
+from repro.config import scaled_platform
+from repro.hicma.dag import build_tlr_cholesky_graph
+from repro.hicma.ranks import RankModel
+from repro.hicma.timing import KernelTimeModel
+from repro.runtime.context import ParsecContext
+
+
+VARIANTS = {
+    "lci (emulated put)": {},
+    "lci (native put)": {"native_put": True},
+    "lci (2 comm threads)": {"num_comm_threads": 2},
+    "lci (2 progress threads)": {"num_progress_threads": 2},
+    "lci (native + 2+2)": {
+        "native_put": True,
+        "num_comm_threads": 2,
+        "num_progress_threads": 2,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = HicmaConfig(matrix_size=36_000, tile_size=450, num_nodes=8)
+    platform = scaled_platform(num_nodes=8, cores_per_node=8)
+    graph_args = dict(
+        rank_model=RankModel(cfg.nt, cfg.tile_size, cfg.maxrank),
+        time_model=KernelTimeModel(platform.compute),
+    )
+    out = {}
+    for name, kwargs in VARIANTS.items():
+        graph = build_tlr_cholesky_graph(
+            cfg.nt, cfg.tile_size, num_nodes=cfg.num_nodes, **graph_args
+        )
+        ctx = ParsecContext(platform, backend="lci", **kwargs)
+        out[name] = ctx.run(graph, until=3600.0)
+    return out
+
+
+def check_native_put_reduces_latency(results):
+    base = results["lci (emulated put)"]
+    native = results["lci (native put)"]
+    assert native.mean_flow_latency < base.mean_flow_latency
+
+
+def check_combined_variant_best_or_close(results):
+    combined = results["lci (native + 2+2)"]
+    base = results["lci (emulated put)"]
+    assert combined.makespan <= base.makespan * 1.05
+
+
+def test_ablation_future_work(results, benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        rows = [
+            (name, f"{r.makespan:.3f}", f"{r.mean_flow_latency * 1e3:.3f}")
+            for name, r in results.items()
+        ]
+        print()
+        print(
+            ascii_table(
+                ["variant", "TTS (s)", "e2e latency (ms)"],
+                rows,
+                title="Ablation A4: §7 future-work features on HiCMA "
+                "(N=36000, tile=450, 8 nodes)",
+            )
+        )
+    check_native_put_reduces_latency(results)
+    check_combined_variant_best_or_close(results)
+
+
+def test_native_put_reduces_latency(results):
+    check_native_put_reduces_latency(results)
+
+
+def test_combined_future_work_variant(results):
+    check_combined_variant_best_or_close(results)

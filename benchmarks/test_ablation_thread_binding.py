@@ -1,0 +1,78 @@
+"""Ablation A3: dedicated vs. free-floating comm/progress threads (§6.1.2).
+
+The paper pins the communication (and LCI progress) threads to cores in
+the NIC's NUMA domain: "tests with free-floating communication and
+progress threads showed up to a 25 % increase in mean end-to-end latency".
+We toggle the binding and check the latency penalty appears for both
+backends.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_table
+from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+from repro.config import scaled_platform
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for backend in ("mpi", "lci"):
+        for dedicated in (True, False):
+            platform = dataclasses.replace(
+                scaled_platform(num_nodes=8, cores_per_node=8),
+                dedicated_comm_cores=dedicated,
+            )
+            cfg = HicmaConfig(matrix_size=36_000, tile_size=900, num_nodes=8)
+            out[(backend, dedicated)] = run_hicma_benchmark(
+                backend, cfg, platform=platform
+            )
+    return out
+
+
+def check_floating_latency_penalty(results):
+    for backend in ("mpi", "lci"):
+        pinned = results[(backend, True)].mean_flow_latency
+        floating = results[(backend, False)].mean_flow_latency
+        assert floating > pinned, f"{backend}: no floating-thread penalty"
+        # The paper reports "up to 25 %"; allow a broad plausible band.
+        assert floating < pinned * 2.0
+
+
+def check_floating_tts_penalty(results):
+    for backend in ("mpi", "lci"):
+        assert (
+            results[(backend, False)].time_to_solution
+            >= results[(backend, True)].time_to_solution * 0.99
+        )
+
+
+def test_ablation_thread_binding(results, benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        rows = []
+        for (backend, dedicated), r in results.items():
+            rows.append(
+                (backend, "pinned" if dedicated else "floating",
+                 f"{r.time_to_solution:.3f}", f"{r.mean_flow_latency * 1e3:.3f}")
+            )
+        print()
+        print(
+            ascii_table(
+                ["backend", "threads", "TTS (s)", "e2e latency (ms)"],
+                rows,
+                title="Ablation A3: comm/progress thread binding",
+            )
+        )
+    check_floating_latency_penalty(results)
+    check_floating_tts_penalty(results)
+
+
+def test_floating_threads_increase_latency(results):
+    check_floating_latency_penalty(results)
+
+
+def test_floating_threads_do_not_improve_tts(results):
+    check_floating_tts_penalty(results)

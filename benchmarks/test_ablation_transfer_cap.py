@@ -1,0 +1,97 @@
+"""Ablation A1: the MPI backend's 30-concurrent-transfer cap (§4.2.2).
+
+The paper argues the cap "may reduce aggregate bandwidth, but also reduces
+the average completion time of individual communications", an acceptable
+trade-off when scaling.  We sweep the cap and check:
+
+- a tiny cap (serializing transfers) hurts time-to-solution;
+- an unbounded cap changes individual-transfer completion behaviour: with
+  the default cap, mean per-message latency stays at or below the
+  unbounded configuration's (completion-time protection), while aggregate
+  TTS is within a modest factor.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_table
+from repro.bench.hicma_bench import HicmaConfig
+from repro.config import scaled_platform
+from repro.hicma.dag import build_tlr_cholesky_graph
+from repro.hicma.ranks import RankModel
+from repro.hicma.timing import KernelTimeModel
+from repro.runtime.context import ParsecContext
+
+
+#: Cap sweep.  (Caps of ~1-2 can genuinely deadlock the emulated-put design
+#: when both peers fill their arrays with receives whose counterpart sends
+#: are deferred — an interesting structural property, but not this test.)
+CAPS = [6, 30, 10_000]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for cap in CAPS:
+        base = scaled_platform(num_nodes=8, cores_per_node=8)
+        platform = dataclasses.replace(
+            base, runtime=dataclasses.replace(base.runtime, mpi_max_transfers=cap)
+        )
+        cfg = HicmaConfig(matrix_size=36_000, tile_size=900, num_nodes=8)
+        graph = build_tlr_cholesky_graph(
+            cfg.nt,
+            cfg.tile_size,
+            num_nodes=cfg.num_nodes,
+            rank_model=RankModel(cfg.nt, cfg.tile_size, cfg.maxrank),
+            time_model=KernelTimeModel(platform.compute),
+        )
+        ctx = ParsecContext(platform, backend="mpi")
+        out[cap] = ctx.run(graph, until=3600.0)
+    return out
+
+
+def check_tiny_cap_hurts(results):
+    assert results[6].makespan > results[30].makespan * 1.02
+
+
+def check_default_protects_completion_time(results):
+    """With the cap, individual messages complete no slower on average."""
+    assert results[30].mean_msg_latency <= results[10_000].mean_msg_latency * 1.10
+
+
+def check_default_within_reasonable_tts(results):
+    assert results[30].makespan <= results[10_000].makespan * 1.25
+
+
+def test_ablation_transfer_cap(results, benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        rows = [
+            (cap, f"{r.makespan:.3f}", f"{r.mean_msg_latency * 1e3:.3f}",
+             f"{r.mean_flow_latency * 1e3:.3f}")
+            for cap, r in results.items()
+        ]
+        print()
+        print(
+            ascii_table(
+                ["max transfers", "TTS (s)", "msg latency (ms)", "e2e latency (ms)"],
+                rows,
+                title="Ablation A1: MPI backend concurrent-transfer cap",
+            )
+        )
+    check_tiny_cap_hurts(results)
+    check_default_protects_completion_time(results)
+    check_default_within_reasonable_tts(results)
+
+
+def test_tiny_cap_hurts_tts(results):
+    check_tiny_cap_hurts(results)
+
+
+def test_cap_protects_individual_completion_times(results):
+    check_default_protects_completion_time(results)
+
+
+def test_cap_keeps_aggregate_tts_reasonable(results):
+    check_default_within_reasonable_tts(results)

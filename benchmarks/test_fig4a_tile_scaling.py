@@ -1,0 +1,118 @@
+"""Figure 4a: TLR Cholesky time-to-solution vs. tile size, 16 nodes
+(§6.4.2).
+
+Checks the paper's findings:
+
+- both backends show a U-shape: large tiles starve parallelism, small
+  tiles bottleneck on communication;
+- LCI achieves lower time-to-solution at every tile size;
+- the improvement diminishes at larger tile sizes (latency is hardware-
+  bound there);
+- LCI's optimum tile size is at or below MPI's (it scales to smaller
+  tasks).
+"""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart, ascii_table
+
+
+def tts_curves(fig4_sweep):
+    tiles = fig4_sweep["tiles"]
+    res = fig4_sweep["results"]
+    return {
+        backend: [(t, res[(backend, t, False)].time_to_solution) for t in tiles]
+        for backend in ("mpi", "lci")
+    }
+
+
+def check_lci_wins_everywhere(fig4_sweep):
+    res = fig4_sweep["results"]
+    for tile in fig4_sweep["tiles"]:
+        mpi = res[("mpi", tile, False)].time_to_solution
+        lci = res[("lci", tile, False)].time_to_solution
+        assert lci <= mpi * 1.02, f"LCI slower at tile {tile}: {lci} vs {mpi}"
+
+
+def check_u_shape(fig4_sweep):
+    """Each backend's best tile is interior (neither extreme) or at least
+    the curve is non-monotone for one of the backends."""
+    res = fig4_sweep["results"]
+    tiles = fig4_sweep["tiles"]
+    interior = False
+    for backend in ("mpi", "lci"):
+        tts = [res[(backend, t, False)].time_to_solution for t in tiles]
+        best = tts.index(min(tts))
+        if 0 < best < len(tiles) - 1:
+            interior = True
+    assert interior, "no interior optimum: missing a regime boundary"
+
+
+def check_lci_best_tile_not_larger(fig4_sweep):
+    res = fig4_sweep["results"]
+    tiles = fig4_sweep["tiles"]
+
+    def best(backend):
+        return min(tiles, key=lambda t: res[(backend, t, False)].time_to_solution)
+
+    assert best("lci") <= best("mpi")
+
+
+def check_improvement_shrinks_with_tile_size(fig4_sweep):
+    """The LCI advantage is largest at the smallest tiles."""
+    res = fig4_sweep["results"]
+    tiles = fig4_sweep["tiles"]
+    small = tiles[0]
+    large = tiles[-1]
+
+    def gain(tile):
+        mpi = res[("mpi", tile, False)].time_to_solution
+        lci = res[("lci", tile, False)].time_to_solution
+        return (mpi - lci) / mpi
+
+    assert gain(small) > gain(large)
+
+
+def test_fig4a_regenerate(fig4_sweep, benchmark, capsys):
+    benchmark.pedantic(lambda: tts_curves(fig4_sweep), rounds=1, iterations=1)
+    curves = tts_curves(fig4_sweep)
+    with capsys.disabled():
+        print()
+        print(
+            ascii_chart(
+                {k: [(t, v) for t, v in pts] for k, pts in curves.items()},
+                title=f"Fig 4a: TLR Cholesky time-to-solution, "
+                f"N={fig4_sweep['matrix']}, 16 nodes",
+                x_label="tile size",
+                y_label="seconds",
+            )
+        )
+        res = fig4_sweep["results"]
+        rows = []
+        for t in fig4_sweep["tiles"]:
+            mpi = res[("mpi", t, False)].time_to_solution
+            lci = res[("lci", t, False)].time_to_solution
+            rows.append(
+                (t, f"{mpi:.3f}", f"{lci:.3f}", f"{(mpi - lci) / mpi:+.1%}")
+            )
+        print(ascii_table(["tile", "MPI TTS (s)", "LCI TTS (s)", "LCI gain"], rows))
+    check_lci_wins_everywhere(fig4_sweep)
+    check_u_shape(fig4_sweep)
+    check_lci_best_tile_not_larger(fig4_sweep)
+    check_improvement_shrinks_with_tile_size(fig4_sweep)
+
+
+def test_lci_lower_tts_at_every_tile(fig4_sweep):
+    check_lci_wins_everywhere(fig4_sweep)
+
+
+def test_u_shaped_curves(fig4_sweep):
+    check_u_shape(fig4_sweep)
+
+
+def test_lci_optimum_at_smaller_or_equal_tile(fig4_sweep):
+    check_lci_best_tile_not_larger(fig4_sweep)
+
+
+def test_gain_diminishes_with_tile_size(fig4_sweep):
+    check_improvement_shrinks_with_tile_size(fig4_sweep)

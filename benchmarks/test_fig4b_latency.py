@@ -1,0 +1,124 @@
+"""Figure 4b: mean end-to-end communication latency vs. tile size, plus
+communication multithreading (§6.4.2–6.4.3).
+
+Latency is measured from the ACTIVATE handoff following task completion to
+the arrival of data, over the entire multicast tree.  Checks:
+
+- LCI achieves lower mean end-to-end latency at every tile size;
+- latency tracks the time-to-solution behaviour;
+- multithreaded ACTIVATE sending helps LCI (lower latency / TTS at small
+  tiles) but is neutral-to-negative for MPI (§6.4.3).
+"""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart, ascii_table
+
+
+def latency_curves(fig4_sweep):
+    tiles = fig4_sweep["tiles"]
+    res = fig4_sweep["results"]
+    curves = {
+        backend: [
+            (t, res[(backend, t, False)].mean_flow_latency * 1e3) for t in tiles
+        ]
+        for backend in ("mpi", "lci")
+    }
+    for backend in ("mpi", "lci"):
+        curves[f"{backend} (MT)"] = [
+            (t, res[(backend, t, True)].mean_flow_latency * 1e3)
+            for t in fig4_sweep["mt_tiles"]
+        ]
+    return curves
+
+
+def check_lci_latency_lower(fig4_sweep):
+    res = fig4_sweep["results"]
+    for tile in fig4_sweep["tiles"]:
+        mpi = res[("mpi", tile, False)].mean_flow_latency
+        lci = res[("lci", tile, False)].mean_flow_latency
+        assert lci < mpi, f"LCI latency not lower at tile {tile}"
+
+
+def check_mt_helps_lci_at_small_tiles(fig4_sweep):
+    res = fig4_sweep["results"]
+    tile = fig4_sweep["mt_tiles"][0]  # smallest MT-scanned tile
+    plain = res[("lci", tile, False)]
+    mt = res[("lci", tile, True)]
+    assert mt.time_to_solution <= plain.time_to_solution * 1.01
+    assert mt.mean_flow_latency <= plain.mean_flow_latency * 1.05
+
+
+def check_mt_not_helping_mpi(fig4_sweep):
+    """§6.4.3: with the MPI backend, multithreading is generally neutral or
+    negative."""
+    res = fig4_sweep["results"]
+    gains = []
+    for tile in fig4_sweep["mt_tiles"]:
+        plain = res[("mpi", tile, False)].time_to_solution
+        mt = res[("mpi", tile, True)].time_to_solution
+        gains.append((plain - mt) / plain)
+    assert max(gains) < 0.05  # never a significant win
+
+
+def check_latency_tracks_tts(fig4_sweep):
+    """Backend latency ordering matches TTS ordering at small tiles."""
+    res = fig4_sweep["results"]
+    tile = fig4_sweep["tiles"][0]
+    mpi, lci = res[("mpi", tile, False)], res[("lci", tile, False)]
+    assert (lci.mean_flow_latency < mpi.mean_flow_latency) == (
+        lci.time_to_solution < mpi.time_to_solution
+    )
+
+
+def test_fig4b_regenerate(fig4_sweep, benchmark, capsys):
+    benchmark.pedantic(lambda: latency_curves(fig4_sweep), rounds=1, iterations=1)
+    curves = latency_curves(fig4_sweep)
+    with capsys.disabled():
+        print()
+        print(
+            ascii_chart(
+                curves,
+                title=f"Fig 4b: end-to-end communication latency, "
+                f"N={fig4_sweep['matrix']}, 16 nodes",
+                x_label="tile size",
+                y_label="ms",
+            )
+        )
+        res = fig4_sweep["results"]
+        rows = []
+        for t in fig4_sweep["tiles"]:
+            mpi = res[("mpi", t, False)].mean_flow_latency * 1e3
+            lci = res[("lci", t, False)].mean_flow_latency * 1e3
+            rows.append((t, f"{mpi:.3f}", f"{lci:.3f}", f"{(mpi - lci) / mpi:+.1%}"))
+        print(ascii_table(["tile", "MPI e2e (ms)", "LCI e2e (ms)", "LCI gain"], rows))
+        for tile in fig4_sweep["mt_tiles"]:
+            for backend in ("mpi", "lci"):
+                plain = res[(backend, tile, False)]
+                mt = res[(backend, tile, True)]
+                print(
+                    f"MT @tile {tile} [{backend}]: TTS {plain.time_to_solution:.3f}"
+                    f"->{mt.time_to_solution:.3f} s, e2e "
+                    f"{plain.mean_flow_latency * 1e3:.3f}->"
+                    f"{mt.mean_flow_latency * 1e3:.3f} ms"
+                )
+    check_lci_latency_lower(fig4_sweep)
+    check_mt_helps_lci_at_small_tiles(fig4_sweep)
+    check_mt_not_helping_mpi(fig4_sweep)
+    check_latency_tracks_tts(fig4_sweep)
+
+
+def test_lci_latency_lower_at_every_tile(fig4_sweep):
+    check_lci_latency_lower(fig4_sweep)
+
+
+def test_multithreading_helps_lci(fig4_sweep):
+    check_mt_helps_lci_at_small_tiles(fig4_sweep)
+
+
+def test_multithreading_does_not_help_mpi(fig4_sweep):
+    check_mt_not_helping_mpi(fig4_sweep)
+
+
+def test_latency_ordering_tracks_tts_ordering(fig4_sweep):
+    check_latency_tracks_tts(fig4_sweep)

@@ -1,0 +1,88 @@
+"""Figure 5a: strong scaling of TLR Cholesky, constant N (§6.4.4).
+
+Three curves: LCI at its per-node-count best tile size, Open MPI at LCI's
+tile sizes, and "Open MPI (best)" at MPI's own best tile sizes.  Checks:
+
+- time-to-solution decreases as nodes are added (strong scaling works);
+- LCI ≤ Open MPI (best) at scale, because it sustains smaller tiles;
+- at small node counts the backends are comparable (communication is not
+  the bottleneck there).
+"""
+
+import pytest
+
+from benchmarks.conftest import best_tile
+from repro.analysis.ascii_plot import ascii_chart, ascii_table
+
+
+def scaling_curves(fig5_sweep):
+    res = fig5_sweep["results"]
+    nodes = sorted(fig5_sweep["node_tiles"])
+    lci_best = {n: best_tile(fig5_sweep, "lci", n) for n in nodes}
+    mpi_best = {n: best_tile(fig5_sweep, "mpi", n) for n in nodes}
+    return {
+        "lci": [(n, res[("lci", n, lci_best[n])].time_to_solution) for n in nodes],
+        "mpi": [(n, res[("mpi", n, lci_best[n])].time_to_solution) for n in nodes],
+        "mpi (best)": [
+            (n, res[("mpi", n, mpi_best[n])].time_to_solution) for n in nodes
+        ],
+    }
+
+
+def check_scaling_down(curves):
+    for name in ("lci", "mpi (best)"):
+        tts = [v for _n, v in curves[name]]
+        assert tts[-1] < tts[0], f"{name} did not strong-scale"
+
+
+def check_lci_wins_at_scale(curves):
+    last = -1
+    lci = curves["lci"][last][1]
+    mpi_best = curves["mpi (best)"][last][1]
+    assert lci <= mpi_best * 1.02
+
+
+def check_mpi_best_not_worse_than_mpi_at_lci_tiles(curves):
+    for (n, mpi), (_n, mpi_best) in zip(curves["mpi"], curves["mpi (best)"]):
+        assert mpi_best <= mpi * 1.001, f"best-tile MPI worse at {n} nodes"
+
+
+def test_fig5a_regenerate(fig5_sweep, benchmark, capsys):
+    benchmark.pedantic(lambda: scaling_curves(fig5_sweep), rounds=1, iterations=1)
+    curves = scaling_curves(fig5_sweep)
+    with capsys.disabled():
+        print()
+        print(
+            ascii_chart(
+                curves,
+                title=f"Fig 5a: strong scaling, N={fig5_sweep['matrix']}",
+                logx=True,
+                x_label="nodes",
+                y_label="time-to-solution (s)",
+            )
+        )
+        rows = [
+            (n, f"{dict(curves['lci'])[n]:.3f}", f"{dict(curves['mpi'])[n]:.3f}",
+             f"{dict(curves['mpi (best)'])[n]:.3f}")
+            for n in sorted(fig5_sweep["node_tiles"])
+        ]
+        print(
+            ascii_table(
+                ["nodes", "LCI (s)", "MPI @LCI tile (s)", "MPI best (s)"], rows
+            )
+        )
+    check_scaling_down(curves)
+    check_lci_wins_at_scale(curves)
+    check_mpi_best_not_worse_than_mpi_at_lci_tiles(curves)
+
+
+def test_strong_scaling_reduces_tts(fig5_sweep):
+    check_scaling_down(scaling_curves(fig5_sweep))
+
+
+def test_lci_at_least_matches_mpi_best_at_scale(fig5_sweep):
+    check_lci_wins_at_scale(scaling_curves(fig5_sweep))
+
+
+def test_mpi_best_dominates_mpi_at_lci_tiles(fig5_sweep):
+    check_mpi_best_not_worse_than_mpi_at_lci_tiles(scaling_curves(fig5_sweep))

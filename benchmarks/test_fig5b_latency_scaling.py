@@ -1,0 +1,71 @@
+"""Figure 5b: end-to-end communication latency while strong scaling
+(§6.4.4).
+
+Checks:
+
+- mean end-to-end latency grows with node count (more multicast hops and
+  more remote flows per datum);
+- LCI's latency stays below Open MPI's (both at LCI's tiles and at MPI's
+  own best tiles) once communication matters (≥ 4 nodes).
+"""
+
+import pytest
+
+from benchmarks.conftest import best_tile
+from repro.analysis.ascii_plot import ascii_chart
+
+
+def latency_curves(fig5_sweep):
+    res = fig5_sweep["results"]
+    nodes = [n for n in sorted(fig5_sweep["node_tiles"]) if n > 1]
+    lci_best = {n: best_tile(fig5_sweep, "lci", n) for n in nodes}
+    mpi_best = {n: best_tile(fig5_sweep, "mpi", n) for n in nodes}
+    return {
+        "lci": [
+            (n, res[("lci", n, lci_best[n])].mean_flow_latency * 1e3) for n in nodes
+        ],
+        "mpi": [
+            (n, res[("mpi", n, lci_best[n])].mean_flow_latency * 1e3) for n in nodes
+        ],
+        "mpi (best)": [
+            (n, res[("mpi", n, mpi_best[n])].mean_flow_latency * 1e3) for n in nodes
+        ],
+    }
+
+
+def check_latency_grows_with_nodes(curves):
+    lat = [v for _n, v in curves["lci"]]
+    assert lat[-1] > lat[0]
+
+
+def check_lci_latency_lower_at_scale(curves):
+    for (n, mpi_lat), (_n, lci_lat) in zip(curves["mpi"], curves["lci"]):
+        if n >= 4:
+            assert lci_lat < mpi_lat, f"LCI latency not lower at {n} nodes"
+
+
+def test_fig5b_regenerate(fig5_sweep, benchmark, capsys):
+    benchmark.pedantic(lambda: latency_curves(fig5_sweep), rounds=1, iterations=1)
+    curves = latency_curves(fig5_sweep)
+    with capsys.disabled():
+        print()
+        print(
+            ascii_chart(
+                curves,
+                title=f"Fig 5b: end-to-end latency vs nodes, "
+                f"N={fig5_sweep['matrix']}",
+                logx=True,
+                x_label="nodes",
+                y_label="ms",
+            )
+        )
+    check_latency_grows_with_nodes(curves)
+    check_lci_latency_lower_at_scale(curves)
+
+
+def test_latency_grows_with_node_count(fig5_sweep):
+    check_latency_grows_with_nodes(latency_curves(fig5_sweep))
+
+
+def test_lci_latency_lower_at_four_plus_nodes(fig5_sweep):
+    check_lci_latency_lower_at_scale(latency_curves(fig5_sweep))

@@ -1,0 +1,83 @@
+"""Table 2: tile size with lowest time-to-solution per node count (§6.4.4).
+
+Checks the paper's structural findings:
+
+- the optimal tile size shrinks (weakly) as node count grows — more cores
+  require more tasks for parallelism;
+- at scale, LCI's optimum is at or below MPI's (it sustains smaller
+  tiles), diverging at the highest node counts like the paper's
+  16/32-node columns (MPI 3000 vs LCI 2400/1800).
+"""
+
+import pytest
+
+from benchmarks.conftest import best_tile
+from repro.analysis.ascii_plot import ascii_table
+from repro.bench import paper_data
+
+
+def table(fig5_sweep):
+    nodes = sorted(fig5_sweep["node_tiles"])
+    return {
+        backend: {n: best_tile(fig5_sweep, backend, n) for n in nodes}
+        for backend in ("mpi", "lci")
+    }
+
+
+def check_best_tile_weakly_decreasing(tbl):
+    for backend in ("mpi", "lci"):
+        tiles = [tbl[backend][n] for n in sorted(tbl[backend])]
+        assert all(b <= a for a, b in zip(tiles, tiles[1:])), (
+            f"{backend} best tile not weakly decreasing: {tiles}"
+        )
+
+
+def check_lci_scales_to_smaller_tiles(tbl, sweep):
+    nodes = sorted(tbl["lci"])
+    res = sweep["results"]
+    for n in nodes:
+        if tbl["lci"][n] > tbl["mpi"][n]:
+            # Permitted only when LCI's curve is flat there (a near-tie in
+            # time-to-solution at the two tiles) — compute-bound small node
+            # counts have broad optima, as the paper's identical 1–8-node
+            # columns show.
+            own = res[("lci", n, tbl["lci"][n])].time_to_solution
+            at_mpi_tile = res[("lci", n, tbl["mpi"][n])].time_to_solution
+            assert at_mpi_tile <= own * 1.03, (
+                f"{n} nodes: LCI optimum {tbl['lci'][n]} > MPI "
+                f"{tbl['mpi'][n]} and not a near-tie"
+            )
+    # At the largest node count LCI's optimum is strictly smaller, as in
+    # the paper's 16- and 32-node columns.
+    assert tbl["lci"][nodes[-1]] < tbl["mpi"][nodes[-1]]
+
+
+def test_table2_regenerate(fig5_sweep, benchmark, capsys):
+    benchmark.pedantic(lambda: table(fig5_sweep), rounds=1, iterations=1)
+    tbl = table(fig5_sweep)
+    nodes = sorted(fig5_sweep["node_tiles"])
+    with capsys.disabled():
+        print()
+        rows = [
+            ("Open MPI",) + tuple(tbl["mpi"][n] for n in nodes),
+            ("LCI",) + tuple(tbl["lci"][n] for n in nodes),
+        ]
+        print(
+            ascii_table(
+                ["backend"] + [str(n) for n in nodes],
+                rows,
+                title=f"Table 2: best tile size per node count "
+                f"(N={fig5_sweep['matrix']})",
+            )
+        )
+        print(f"paper (N=360,000): {paper_data.TABLE2_BEST_TILE}")
+    check_best_tile_weakly_decreasing(tbl)
+    check_lci_scales_to_smaller_tiles(tbl, fig5_sweep)
+
+
+def test_best_tile_shrinks_with_node_count(fig5_sweep):
+    check_best_tile_weakly_decreasing(table(fig5_sweep))
+
+
+def test_lci_optimum_smaller_at_scale(fig5_sweep):
+    check_lci_scales_to_smaller_tiles(table(fig5_sweep), fig5_sweep)

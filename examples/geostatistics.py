@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Geostatistical prediction (kriging) with the TLR Cholesky pipeline.
+
+The paper's HiCMA experiments come from extreme-scale geostatistics (its
+ref. [6]): fit a Gaussian-process model of a spatial field, factorize the
+covariance matrix, and predict at unobserved locations.  This example runs
+the whole pipeline with the reproduction's numerical kernels:
+
+1. sample a synthetic spatial field at N Morton-ordered sites;
+2. compress the st-2d-sqexp covariance into TLR form;
+3. TLR-Cholesky factorize; solve A·w = z with the low-rank factor;
+4. krige (predict) at held-out sites and compare against the truth.
+
+Run:  python examples/geostatistics.py
+"""
+
+import numpy as np
+
+from repro.hicma import SqExpProblem, TLRMatrix, tlr_cholesky, tlr_solve
+from repro.units import fmt_size
+
+
+def main() -> None:
+    n, tile, tol, beta = 1024, 128, 1e-9, 0.12
+    rng = np.random.default_rng(7)
+    print(f"Gaussian-process geostatistics: N={n} sites, sqexp kernel "
+          f"(beta={beta}), TLR tile={tile}, accuracy={tol:g}\n")
+
+    # 1. Ground truth: a sample from the GP itself.
+    problem = SqExpProblem(n, beta=beta, nugget=1e-3, seed=7)
+    cov = problem.dense()
+    field = np.linalg.cholesky(cov) @ rng.standard_normal(n)
+    # Observe a noisy version at all sites; hold out every 8th for testing.
+    noise = 0.03
+    z = field + noise * rng.standard_normal(n)
+    held_out = np.arange(0, n, 8)
+
+    # 2-3. Compress + factorize + solve with the TLR machinery.
+    tlr = TLRMatrix.from_problem(problem, tile_size=tile, tol=tol, maxrank=100)
+    print(f"compressed covariance: {fmt_size(tlr.compression_bytes())} "
+          f"(dense {fmt_size(n * n * 8)}), mean off-band rank "
+          f"{tlr.mean_offband_rank():.1f}")
+    stats = tlr_cholesky(tlr, tol=tol, maxrank=100)
+    print(f"factorized with {stats.total_tasks} tile kernels")
+    weights = tlr_solve(tlr, z)  # w = (K + nugget I)^{-1} z
+
+    # 4. Kriging prediction at the held-out sites: k_*^T w.
+    pts = problem.points
+    d2 = ((pts[held_out, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+    k_star = np.exp(-d2 / (2 * beta**2))
+    pred = k_star @ weights
+
+    err = np.sqrt(np.mean((pred - field[held_out]) ** 2))
+    base = np.sqrt(np.mean((z[held_out] - field[held_out]) ** 2))
+    print(f"\nprediction RMSE : {err:.4f}")
+    print(f"observation noise: {base:.4f}")
+    print("kriging smooths below the noise level" if err < base
+          else "warning: prediction no better than raw observations")
+    assert err < base, "GP prediction should beat the raw noisy observations"
+
+    # Sanity: the TLR solve agrees with a dense solve.
+    dense_w = np.linalg.solve(cov, z)
+    agree = np.linalg.norm(weights - dense_w) / np.linalg.norm(dense_w)
+    print(f"TLR vs dense solve relative difference: {agree:.2e}")
+
+
+if __name__ == "__main__":
+    main()

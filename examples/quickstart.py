@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: compare the MPI and LCI communication backends.
+
+Builds a small task graph with cross-node dataflows, runs it on a simulated
+two-node cluster under both PaRSEC communication backends, and prints the
+time-to-solution and end-to-end communication latency side by side —
+the paper's headline comparison in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import scaled_platform
+from repro.runtime import ParsecContext, TaskGraph
+from repro.units import KiB, fmt_time
+
+
+def build_graph(stages: int = 8, width: int = 16, flow_bytes: int = 96 * KiB) -> TaskGraph:
+    """A pipelined stencil-ish graph: each stage's tasks alternate nodes and
+    consume their predecessor's dataflow."""
+    g = TaskGraph()
+    prev = {}
+    for stage in range(stages):
+        for lane in range(width):
+            inputs = [prev[lane]] if lane in prev else []
+            task = g.add_task(
+                node=(stage + lane) % 2,
+                duration=20e-6,
+                priority=float(stages - stage),
+                inputs=inputs,
+                kind=f"stage{stage}",
+            )
+            prev[lane] = g.add_flow(task, flow_bytes)
+    return g
+
+
+def main() -> None:
+    print("Simulated platform: 2 Expanse-like nodes, 100 Gbit/s HDR fabric\n")
+    results = {}
+    for backend in ("mpi", "lci"):
+        ctx = ParsecContext(
+            scaled_platform(num_nodes=2, cores_per_node=8), backend=backend
+        )
+        results[backend] = ctx.run(build_graph(), until=10.0)
+
+    for backend, stats in results.items():
+        print(f"[{backend}]")
+        print(f"  time-to-solution : {fmt_time(stats.makespan)}")
+        print(f"  mean e2e latency : {fmt_time(stats.mean_flow_latency)}")
+        print(f"  ACTIVATEs sent   : {stats.activates_sent} "
+              f"({stats.activations_aggregated} aggregated)")
+        print(f"  wire traffic     : {stats.wire_bytes / 1024:.0f} KiB")
+        print()
+
+    mpi, lci = results["mpi"], results["lci"]
+    gain = (mpi.makespan - lci.makespan) / mpi.makespan
+    lat_gain = (mpi.mean_flow_latency - lci.mean_flow_latency) / mpi.mean_flow_latency
+    print(f"LCI vs MPI: {gain:+.1%} time-to-solution, {lat_gain:+.1%} latency")
+    print("(the paper reports up to 12% time-to-solution and >50% latency "
+          "improvements on HiCMA at scale)")
+
+
+if __name__ == "__main__":
+    main()

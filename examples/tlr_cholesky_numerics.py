@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Numerical TLR Cholesky on a real st-2d-sqexp covariance matrix.
+
+This is the HiCMA half of the reproduction running *actual numerics*:
+generate a geostatistics covariance problem, compress it to tile-low-rank
+form, factorize with low-rank kernels, and verify the factorization against
+the dense matrix — including the compression statistics the paper quotes
+(mean/max off-band tile ranks, packed-format memory footprint).
+
+Run:  python examples/tlr_cholesky_numerics.py
+"""
+
+import numpy as np
+
+from repro.hicma import SqExpProblem, TLRMatrix, tlr_cholesky
+from repro.units import fmt_size
+
+
+def main() -> None:
+    n, tile, tol = 1024, 128, 1e-9
+    print(f"Problem: st-2d-sqexp, N={n}, tile={tile}, accuracy={tol:g}\n")
+
+    print("1. Generating covariance matrix (Morton-ordered 2D points)...")
+    problem = SqExpProblem(n, beta=0.12, seed=42)
+    dense = problem.dense()
+
+    print("2. Compressing off-diagonal tiles to U x V^T form...")
+    tlr = TLRMatrix.from_problem(problem, tile_size=tile, tol=tol, maxrank=100)
+    dense_bytes = n * n * 8
+    print(f"   mean off-band rank : {tlr.mean_offband_rank():.2f}")
+    print(f"   max off-band rank  : {tlr.max_offband_rank()}")
+    print(f"   memory             : {fmt_size(tlr.compression_bytes())} "
+          f"vs dense {fmt_size(dense_bytes)} "
+          f"({tlr.compression_bytes() / dense_bytes:.1%})")
+    rel = np.linalg.norm(tlr.to_dense() - dense) / np.linalg.norm(dense)
+    print(f"   compression error  : {rel:.2e}")
+
+    print("\n3. TLR Cholesky factorization (band 1, low-rank kernels)...")
+    stats = tlr_cholesky(tlr, tol=tol, maxrank=100)
+    print(f"   kernels: {stats.potrf} potrf, {stats.trsm} trsm, "
+          f"{stats.syrk} syrk, {stats.gemm} gemm "
+          f"({stats.total_tasks} tasks total)")
+    if stats.final_ranks:
+        print(f"   final factor ranks: mean {np.mean(stats.final_ranks):.1f}, "
+              f"max {max(stats.final_ranks)}")
+
+    print("\n4. Verifying L * L^T against the dense matrix...")
+    l = tlr.lower_dense()
+    err = np.linalg.norm(l @ l.T - dense) / np.linalg.norm(dense)
+    print(f"   ||L L^T - A||_F / ||A||_F = {err:.2e}")
+    assert err < 1e-6, "factorization accuracy regression"
+    print("   OK — within the requested accuracy regime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Measurement methodology and reporting utilities."""
+
+from repro.analysis.stats import MethodologyConfig, methodology_mean, summarize
+from repro.analysis.ascii_plot import ascii_chart, ascii_table
+from repro.analysis.latency import FlowBreakdown, breakdown, phase_summary
+from repro.analysis.export import dump_results, load_results, to_jsonable
+from repro.analysis.gantt import Interval, occupancy, render_gantt, worker_intervals
+
+__all__ = [
+    "MethodologyConfig",
+    "methodology_mean",
+    "summarize",
+    "ascii_chart",
+    "ascii_table",
+    "FlowBreakdown",
+    "breakdown",
+    "phase_summary",
+    "dump_results",
+    "load_results",
+    "to_jsonable",
+    "Interval",
+    "occupancy",
+    "render_gantt",
+    "worker_intervals",
+]

@@ -1,0 +1,94 @@
+"""Per-flow latency breakdown.
+
+The paper reports end-to-end latency as a single number; for diagnosis this
+module decomposes each remote dataflow's life into the protocol phases of
+Fig. 1:
+
+- ``activate``  — handoff of the activation to the comm layer → ACTIVATE
+  callback execution at the destination;
+- ``getdata``   — ACTIVATE callback → GET DATA callback at the holder
+  (includes the priority-queue deferral, §4.3 duty 3);
+- ``transfer``  — GET DATA handling → data arrival callback at the
+  destination (handshake + wire + completion processing).
+
+Enable with ``ParsecContext(..., collect_traces=True)``; the runtime then
+records :class:`~repro.sim.trace.TraceEvent` rows keyed ``(flow, dst)``
+which :func:`breakdown` joins into :class:`FlowBreakdown` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["FlowBreakdown", "breakdown", "phase_summary"]
+
+#: Trace kinds emitted by the runtime, in protocol order.
+PHASES = ("activate_handoff", "activate_cb", "getdata_cb", "data_arrival")
+
+
+@dataclass(frozen=True)
+class FlowBreakdown:
+    """Phase timings of one (flow, destination) transfer."""
+
+    flow: int
+    dst: int
+    activate: float  # handoff -> ACTIVATE callback at dst
+    getdata: float  # ACTIVATE callback -> GET DATA callback at holder
+    transfer: float  # GET DATA callback -> data arrival at dst
+
+    @property
+    def total(self) -> float:
+        """End-to-end latency (sum of the three phases)."""
+        return self.activate + self.getdata + self.transfer
+
+
+def breakdown(trace: TraceRecorder) -> list[FlowBreakdown]:
+    """Join trace events into per-(flow, dst) phase timings.
+
+    Incomplete flows (e.g. cut off at run end) are skipped.
+    """
+    by_key: dict[tuple, dict[str, float]] = {}
+    for evt in trace.events:
+        if evt.kind in PHASES:
+            by_key.setdefault(evt.key, {})[evt.kind] = evt.time
+    out = []
+    for (flow, dst), stamps in by_key.items():
+        if not all(k in stamps for k in PHASES):
+            continue
+        out.append(
+            FlowBreakdown(
+                flow=flow,
+                dst=dst,
+                activate=stamps["activate_cb"] - stamps["activate_handoff"],
+                getdata=stamps["getdata_cb"] - stamps["activate_cb"],
+                transfer=stamps["data_arrival"] - stamps["getdata_cb"],
+            )
+        )
+    return out
+
+
+def phase_summary(flows: Iterable[FlowBreakdown]) -> dict[str, dict]:
+    """Mean/p95 per phase across flows, plus each phase's share of total."""
+    flows = list(flows)
+    if not flows:
+        return {}
+    out: dict[str, dict] = {}
+    totals = np.array([f.total for f in flows])
+    for phase in ("activate", "getdata", "transfer"):
+        vals = np.array([getattr(f, phase) for f in flows])
+        out[phase] = {
+            "mean": float(vals.mean()),
+            "p95": float(np.percentile(vals, 95)),
+            "share": float(vals.sum() / totals.sum()) if totals.sum() > 0 else 0.0,
+        }
+    out["total"] = {
+        "mean": float(totals.mean()),
+        "p95": float(np.percentile(totals, 95)),
+        "share": 1.0,
+    }
+    return out

@@ -1,0 +1,73 @@
+"""The paper's measurement methodology (§6.1.3).
+
+Microbenchmarks: "running 18 executions in succession, discarding the first
+three, and computing the mean of the remaining 15"; HiCMA: "a mean of five
+executions".  The simulator is deterministic unless the workload injects
+jitter, so the harness defaults to fewer repetitions — but the methodology
+code path is identical and fully exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+__all__ = ["MethodologyConfig", "methodology_mean", "summarize"]
+
+
+@dataclass(frozen=True)
+class MethodologyConfig:
+    """How many executions to run and how many leading ones to discard."""
+
+    runs: int = 18
+    discard: int = 3
+
+    def __post_init__(self) -> None:
+        if self.runs <= self.discard:
+            raise BenchmarkError(
+                f"need more runs ({self.runs}) than discards ({self.discard})"
+            )
+
+    @classmethod
+    def microbenchmark(cls) -> "MethodologyConfig":
+        """§6.2/§6.3: 18 runs, first 3 discarded."""
+        return cls(runs=18, discard=3)
+
+    @classmethod
+    def hicma(cls) -> "MethodologyConfig":
+        """§6.4: mean of 5 executions."""
+        return cls(runs=5, discard=0)
+
+    @classmethod
+    def quick(cls) -> "MethodologyConfig":
+        """Deterministic-simulator default."""
+        return cls(runs=1, discard=0)
+
+
+def methodology_mean(
+    run_fn: Callable[[int], float], cfg: MethodologyConfig
+) -> float:
+    """Execute ``run_fn(run_index)`` per the methodology; return the mean of
+    the kept samples."""
+    samples = [run_fn(i) for i in range(cfg.runs)]
+    kept = samples[cfg.discard :]
+    return float(np.mean(kept))
+
+
+def summarize(samples: Sequence[float]) -> dict:
+    """Mean / median / p95 / min / max of a latency sample set."""
+    if not len(samples):
+        return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "min": 0.0, "max": 0.0}
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p95": float(np.percentile(arr, 95)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

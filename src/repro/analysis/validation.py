@@ -1,0 +1,133 @@
+"""Built-in simulator self-validation against closed-form models.
+
+A calibrated simulator should agree with pencil-and-paper models wherever
+those exist; these checks compare measured behaviour against analytic
+predictions and report the deviation.  They run in the test suite
+(`tests/test_validation.py`) so a modelling regression cannot hide behind
+the benchmarks' wider tolerances.
+
+Closed forms used:
+
+- **NetPIPE latency**: one-way time of an S-byte message ≈
+  ``o_sw + L + S/B`` (software overhead + wire latency + serialization);
+- **NetPIPE bandwidth limit**: ``S / one_way(S) → B`` as S → ∞;
+- **Serialized chain latency**: a K-hop dependency chain across two nodes
+  costs at least ``K × (one_way(S) + runtime_path)`` — a lower bound the
+  simulated runtime must respect;
+- **Compute-bound makespan**: W identical independent tasks of duration d
+  on c workers take ≈ ``ceil(W/c) × d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import NetworkConfig, PlatformConfig, scaled_platform
+from repro.network.netpipe import NETPIPE_SW_OVERHEAD, netpipe_rtt
+
+__all__ = [
+    "ValidationResult",
+    "predicted_one_way",
+    "validate_netpipe_latency",
+    "validate_netpipe_bandwidth",
+    "validate_compute_bound_makespan",
+]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of one analytic cross-check."""
+
+    name: str
+    predicted: float
+    measured: float
+    tolerance: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of measured from predicted."""
+        if self.predicted == 0:
+            return float("inf")
+        return abs(self.measured - self.predicted) / abs(self.predicted)
+
+    @property
+    def ok(self) -> bool:
+        """True when the deviation is inside the tolerance."""
+        return self.deviation <= self.tolerance
+
+    def summary(self) -> str:
+        """One-line report."""
+        flag = "OK " if self.ok else "FAIL"
+        return (
+            f"[{flag}] {self.name}: predicted {self.predicted:.3e}, "
+            f"measured {self.measured:.3e} ({self.deviation:+.1%} vs "
+            f"±{self.tolerance:.0%})"
+        )
+
+
+def predicted_one_way(size: int, cfg: Optional[NetworkConfig] = None) -> float:
+    """Closed-form one-way time: software + wire latency + serialization.
+
+    Two nodes sit under the same leaf in the default topology (2 hops).
+    """
+    cfg = cfg or NetworkConfig()
+    return NETPIPE_SW_OVERHEAD + cfg.latency(2) + size / cfg.bandwidth
+
+
+def validate_netpipe_latency(
+    size: int, cfg: Optional[NetworkConfig] = None, tolerance: float = 0.05
+) -> ValidationResult:
+    """Measured NetPIPE one-way time vs the closed form."""
+    cfg = cfg or NetworkConfig()
+    measured = netpipe_rtt(size, cfg) / 2.0
+    return ValidationResult(
+        name=f"netpipe one-way @{size}B",
+        predicted=predicted_one_way(size, cfg),
+        measured=measured,
+        tolerance=tolerance,
+    )
+
+
+def validate_netpipe_bandwidth(
+    size: int, cfg: Optional[NetworkConfig] = None, tolerance: float = 0.05
+) -> ValidationResult:
+    """Measured large-message bandwidth vs the configured line rate."""
+    cfg = cfg or NetworkConfig()
+    one_way = netpipe_rtt(size, cfg) / 2.0
+    measured = size / one_way
+    # Prediction accounts for the latency share at this finite size.
+    predicted = size / predicted_one_way(size, cfg)
+    return ValidationResult(
+        name=f"netpipe bandwidth @{size}B",
+        predicted=predicted,
+        measured=measured,
+        tolerance=tolerance,
+    )
+
+
+def validate_compute_bound_makespan(
+    num_tasks: int = 64,
+    duration: float = 100e-6,
+    workers: int = 8,
+    tolerance: float = 0.10,
+    platform: Optional[PlatformConfig] = None,
+) -> ValidationResult:
+    """Makespan of independent equal tasks vs ceil(W/c)·d."""
+    import math
+
+    from repro.runtime import ParsecContext, TaskGraph
+
+    platform = platform or scaled_platform(num_nodes=1, cores_per_node=workers)
+    g = TaskGraph()
+    for _ in range(num_tasks):
+        g.add_task(node=0, duration=duration)
+    ctx = ParsecContext(platform, backend="lci")
+    stats = ctx.run(g, until=3600.0)
+    predicted = math.ceil(num_tasks / workers) * duration
+    return ValidationResult(
+        name=f"compute-bound makespan ({num_tasks} tasks / {workers} workers)",
+        predicted=predicted,
+        measured=stats.makespan,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,106 @@
+"""Top-level convenience API.
+
+These helpers wrap the benchmark drivers in one-call form for interactive
+use and the examples.  Heavy imports happen lazily so that
+``import repro`` stays fast and so subsystems can be used independently.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = ["BackendKind", "quick_compare", "run_pingpong", "run_overlap", "run_hicma"]
+
+
+class BackendKind(str, enum.Enum):
+    """Which PaRSEC communication backend to simulate."""
+
+    MPI = "mpi"
+    LCI = "lci"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def run_pingpong(
+    fragment_size: int,
+    backend: "BackendKind | str" = BackendKind.LCI,
+    *,
+    streams: int = 1,
+    total_bytes: Optional[int] = None,
+    iterations: int = 4,
+    sync: bool = True,
+    seed: int = 0,
+):
+    """Run the windowed ping-pong bandwidth benchmark (paper §6.2).
+
+    Returns a :class:`repro.bench.pingpong.PingPongResult` with achieved
+    bandwidth and latency statistics.
+    """
+    from repro.bench.pingpong import PingPongConfig, run_pingpong_benchmark
+
+    cfg = PingPongConfig(
+        fragment_size=fragment_size,
+        streams=streams,
+        total_bytes=total_bytes,
+        iterations=iterations,
+        sync=sync,
+        seed=seed,
+    )
+    return run_pingpong_benchmark(str(backend), cfg)
+
+
+def run_overlap(
+    fragment_size: int,
+    backend: "BackendKind | str" = BackendKind.LCI,
+    *,
+    total_bytes: Optional[int] = None,
+    seed: int = 0,
+):
+    """Run the computation/communication overlap benchmark (paper §6.3)."""
+    from repro.bench.overlap import OverlapConfig, run_overlap_benchmark
+
+    cfg = OverlapConfig(fragment_size=fragment_size, total_bytes=total_bytes, seed=seed)
+    return run_overlap_benchmark(str(backend), cfg)
+
+
+def run_hicma(
+    matrix_size: int,
+    tile_size: int,
+    backend: "BackendKind | str" = BackendKind.LCI,
+    *,
+    num_nodes: int = 4,
+    multithreaded_activate: bool = False,
+    seed: int = 0,
+):
+    """Run the simulated HiCMA TLR Cholesky (paper §6.4)."""
+    from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+
+    cfg = HicmaConfig(
+        matrix_size=matrix_size,
+        tile_size=tile_size,
+        num_nodes=num_nodes,
+        multithreaded_activate=multithreaded_activate,
+        seed=seed,
+    )
+    return run_hicma_benchmark(str(backend), cfg)
+
+
+def quick_compare(fragment_size: int = 128 * 1024, **kwargs):
+    """Run the ping-pong benchmark with both backends and report side by side.
+
+    Returns a :class:`repro.bench.report.Comparison`.
+    """
+    from repro.bench.report import Comparison
+
+    results = {
+        str(kind): run_pingpong(fragment_size, kind, **kwargs)
+        for kind in (BackendKind.MPI, BackendKind.LCI)
+    }
+    return Comparison(
+        title=f"ping-pong @ fragment={fragment_size} B",
+        results=results,
+        metric="bandwidth_gbit",
+        higher_is_better=True,
+    )

@@ -1,0 +1,169 @@
+"""HiCMA TLR Cholesky benchmarks (paper §6.4: Fig. 4, Fig. 5, Table 2).
+
+The paper's configuration: st-2d-sqexp, N = 360,000, maxrank 150, accuracy
+1e-8, band 1, two-flow algorithm; 16 nodes for the tile-size scan (Fig. 4),
+1–32 nodes for strong scaling (Fig. 5).
+
+Default scale here: N = 36,000 on nodes with 8 "fat" workers (node-level
+compute held at Expanse levels — see ``scaled_platform``), which keeps the
+same regime boundaries: too-large tiles starve parallelism, too-small tiles
+bottleneck on communication.  ``REPRO_PAPER_SCALE=1`` selects the full
+paper dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.stats import summarize
+from repro.config import PlatformConfig, paper_scale_enabled, scaled_platform
+from repro.errors import BenchmarkError
+from repro.hicma.dag import build_tlr_cholesky_graph
+from repro.hicma.ranks import RankModel
+from repro.hicma.timing import KernelTimeModel
+from repro.runtime.context import ParsecContext
+
+__all__ = [
+    "HicmaConfig",
+    "HicmaResult",
+    "run_hicma_benchmark",
+    "default_matrix_size",
+    "default_tile_sizes",
+    "best_tile_scan",
+]
+
+
+def default_matrix_size() -> int:
+    """Matrix dimension for the Fig. 4 harness at the current scale."""
+    return 360_000 if paper_scale_enabled() else 36_000
+
+
+def default_tile_sizes() -> list[int]:
+    """The Fig. 4 tile-size sweep (divisors of the matrix size)."""
+    if paper_scale_enabled():
+        return [1200, 1500, 1800, 2400, 3000, 3600, 4500, 4800, 6000]
+    return [1200, 1500, 1800, 2400, 3000, 3600, 4500, 6000]
+
+
+@dataclass(frozen=True)
+class HicmaConfig:
+    """One TLR Cholesky execution."""
+
+    matrix_size: int
+    tile_size: int
+    num_nodes: int = 16
+    maxrank: int = 150
+    two_flow: bool = True
+    multithreaded_activate: bool = False
+    clock_sync: bool = False
+    seed: int = 0
+
+    @property
+    def nt(self) -> int:
+        """Tiles per dimension."""
+        if self.matrix_size % self.tile_size != 0:
+            raise BenchmarkError(
+                f"matrix {self.matrix_size} not divisible by tile {self.tile_size}"
+            )
+        return self.matrix_size // self.tile_size
+
+
+@dataclass
+class HicmaResult:
+    """Measurements of one TLR Cholesky execution."""
+
+    config: HicmaConfig
+    backend: str
+    time_to_solution: float = 0.0
+    tasks: int = 0
+    #: End-to-end latency stats (ACTIVATE send → data arrival, full
+    #: multicast tree) — what Fig. 4b/5b plot.
+    flow_latency: dict = field(default_factory=dict)
+    msg_latency: dict = field(default_factory=dict)
+    activates_sent: int = 0
+    wire_bytes: int = 0
+    worker_utilization: float = 0.0
+
+    @property
+    def mean_flow_latency(self) -> float:
+        """Mean end-to-end latency (seconds)."""
+        return self.flow_latency.get("mean", 0.0)
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (
+            f"hicma[{self.backend}] N={self.config.matrix_size} "
+            f"tile={self.config.tile_size} nodes={self.config.num_nodes}"
+            f"{' MT' if self.config.multithreaded_activate else ''}: "
+            f"TTS={self.time_to_solution:.3f}s "
+            f"e2e={self.mean_flow_latency * 1e3:.2f}ms"
+        )
+
+
+def run_hicma_benchmark(
+    backend: str,
+    cfg: HicmaConfig,
+    platform: Optional[PlatformConfig] = None,
+) -> HicmaResult:
+    """Execute one TLR Cholesky on the simulated runtime."""
+    if platform is None:
+        if paper_scale_enabled():
+            from repro.config import expanse_platform
+
+            platform = expanse_platform(num_nodes=cfg.num_nodes)
+        else:
+            platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=8)
+    ranks = RankModel(cfg.nt, cfg.tile_size, cfg.maxrank)
+    times = KernelTimeModel(platform.compute)
+    graph = build_tlr_cholesky_graph(
+        cfg.nt,
+        cfg.tile_size,
+        num_nodes=cfg.num_nodes,
+        rank_model=ranks,
+        time_model=times,
+        maxrank=cfg.maxrank,
+        two_flow=cfg.two_flow,
+    )
+    ctx = ParsecContext(
+        platform,
+        backend=backend,
+        multithreaded_activate=cfg.multithreaded_activate,
+        clock_sync=cfg.clock_sync,
+        seed=cfg.seed,
+    )
+    stats = ctx.run(graph, until=36_000.0)
+    return HicmaResult(
+        config=cfg,
+        backend=backend,
+        time_to_solution=stats.makespan,
+        tasks=stats.tasks_executed,
+        flow_latency=summarize(stats.flow_latencies),
+        msg_latency=summarize(stats.msg_latencies),
+        activates_sent=stats.activates_sent,
+        wire_bytes=stats.wire_bytes,
+        worker_utilization=stats.worker_utilization,
+    )
+
+
+def best_tile_scan(
+    backend: str,
+    num_nodes: int,
+    tile_sizes: Optional[list[int]] = None,
+    matrix_size: Optional[int] = None,
+    **kwargs,
+) -> tuple[int, dict[int, HicmaResult]]:
+    """Run every tile size; return (best tile, all results) — Table 2."""
+    matrix_size = matrix_size or default_matrix_size()
+    tile_sizes = tile_sizes or default_tile_sizes()
+    results: dict[int, HicmaResult] = {}
+    for tile in tile_sizes:
+        cfg = HicmaConfig(
+            matrix_size=matrix_size,
+            tile_size=tile,
+            num_nodes=num_nodes,
+            **kwargs,
+        )
+        results[tile] = run_hicma_benchmark(backend, cfg)
+    best = min(results, key=lambda t: results[t].time_to_solution)
+    return best, results

@@ -1,0 +1,67 @@
+"""The paper's reported numbers, for paper-vs-measured comparison.
+
+Exact values come from the text; curve points not stated numerically are
+digitized approximately from the figures and marked as such.  The harness
+compares *shapes* (who wins, by what factor, where crossovers fall), not
+absolute values — our substrate is a calibrated simulator, not Expanse.
+"""
+
+from __future__ import annotations
+
+from repro.units import KiB
+
+# ---- Fig. 2a (one-stream bandwidth), exact values from §6.2 text ----------
+
+#: MPI backend bandwidth anchor points: granularity -> Gbit/s.
+FIG2A_MPI_ANCHORS = {128 * KiB: 62.5, int(90.5 * KiB): 45.2}
+#: LCI backend anchor points.
+FIG2A_LCI_ANCHORS = {int(45.25 * KiB): 64.1, 32 * KiB: 43.5}
+#: "supporting tasks about 2.83 times smaller at a similar efficiency".
+FIG2A_GRANULARITY_RATIO = 2.83
+#: Peak bandwidth both backends reach with coarse tasks (2× HDR ≈ 100 Gb/s).
+FIG2A_PEAK_GBIT = 100.0
+
+# ---- Fig. 3 (overlap), §6.3 text -------------------------------------------
+
+#: "At the 128 KiB fragment size, the LCI backend is able to achieve over
+#: twice the performance of the MPI backend, while at 32 KiB it is an order
+#: of magnitude faster."
+FIG3_LCI_OVER_MPI = {128 * KiB: 2.0, 32 * KiB: 10.0}
+
+# ---- Fig. 4 (tile scaling, 16 nodes, N=360,000), §6.4.2/§6.4.3 -------------
+
+#: Tile sizes scanned.
+FIG4_TILE_SIZES = [1200, 1500, 1800, 2400, 3000, 3600, 4500, 4800, 6000]
+#: Best-performing tile size in Fig. 4a (both backends near 2400–3000).
+FIG4_BEST_TILE_RANGE = (2400, 3000)
+#: §6.4.3: LCI+MT time-to-solution at tile 1200: 16.384 s → 14.839 s (10 %).
+FIG4_LCI_TTS_1200 = 16.384
+FIG4_LCI_MT_TTS_1200 = 14.839
+#: §6.4.3: best tile 2400: MT improves 3 %, to 10.516 s.
+FIG4_LCI_MT_TTS_2400 = 10.516
+#: §6.4.3: LCI MT reduces individual multicast message latency by up to
+#: 63 % and end-to-end latency by up to 46 %.
+FIG4_MT_MSG_LATENCY_REDUCTION = 0.63
+FIG4_MT_E2E_LATENCY_REDUCTION = 0.46
+#: Fig. 4b y-range: mean end-to-end latencies fall between ~10 and ~70 ms.
+FIG4B_LATENCY_RANGE_S = (5e-3, 100e-3)
+#: Abstract/§7: LCI reduces mean end-to-end latency by over 50 % and
+#: time-to-solution by up to 12 %.
+PAPER_E2E_LATENCY_REDUCTION = 0.50
+PAPER_TTS_IMPROVEMENT = 0.12
+
+# ---- Table 2 (best tile size per node count) --------------------------------
+
+TABLE2_NODES = [1, 2, 4, 8, 16, 32]
+TABLE2_BEST_TILE = {
+    "mpi": {1: 4500, 2: 4500, 4: 3600, 8: 3000, 16: 3000, 32: 3000},
+    "lci": {1: 4500, 2: 4500, 4: 3600, 8: 3000, 16: 2400, 32: 1800},
+}
+
+# ---- Fig. 5 (strong scaling) -------------------------------------------------
+
+#: Digitized (approximate) time-to-solution from Fig. 5a, seconds.
+FIG5A_TTS_APPROX = {
+    "lci": {1: 23.0, 2: 18.5, 4: 15.0, 8: 12.5, 16: 10.5, 32: 10.0},
+    "mpi": {1: 23.0, 2: 18.5, 4: 15.5, 8: 13.5, 16: 12.0, 32: 11.5},
+}

@@ -1,0 +1,50 @@
+"""Comparison and report rendering for benchmark results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.analysis.ascii_plot import ascii_table
+
+__all__ = ["Comparison"]
+
+
+@dataclass
+class Comparison:
+    """Results of the same benchmark under several backends/variants."""
+
+    title: str
+    results: Mapping[str, Any]
+    metric: str
+    higher_is_better: bool = True
+    notes: list = field(default_factory=list)
+
+    def value(self, key: str) -> float:
+        """The compared metric for one entry (attribute or dict key)."""
+        result = self.results[key]
+        v = getattr(result, self.metric, None)
+        if v is None and isinstance(result, dict):
+            v = result[self.metric]
+        if v is None:
+            raise AttributeError(f"{self.metric} not found on {result!r}")
+        return float(v)
+
+    def winner(self) -> str:
+        """Entry with the best metric value."""
+        pick = max if self.higher_is_better else min
+        return pick(self.results, key=self.value)
+
+    def ratio(self, a: str, b: str) -> float:
+        """value(a) / value(b)."""
+        return self.value(a) / self.value(b)
+
+    def summary(self) -> str:
+        """Human-readable comparison table."""
+        rows = [
+            (name, f"{self.value(name):.4g}") for name in self.results
+        ]
+        table = ascii_table([self.metric, "value"], rows, title=self.title)
+        lines = [table, f"winner: {self.winner()}"]
+        lines.extend(self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``pingpong``   run the §6.2 bandwidth benchmark for one fragment size
+``overlap``    run the §6.3 overlap benchmark for one fragment size
+``hicma``      run one §6.4 TLR Cholesky configuration
+``netpipe``    raw fabric ping-pong baseline for a list of sizes
+``compare``    MPI vs LCI side-by-side on the ping-pong benchmark
+``info``       print the calibrated platform constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def _size(text: str) -> int:
+    """Parse '64K', '8M', '1024' into bytes."""
+    text = text.strip().upper()
+    mult = 1
+    if text.endswith(("K", "KB", "KIB")):
+        mult, text = 1024, text.rstrip("BIK")
+    elif text.endswith(("M", "MB", "MIB")):
+        mult, text = 1024 * 1024, text.rstrip("BIM")
+    try:
+        return int(float(text) * mult)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad size: {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Improving the Scaling of an "
+        "Asynchronous Many-Task Runtime with a Lightweight Communication "
+        "Engine' (ICPP 2023).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pp = sub.add_parser("pingpong", help="ping-pong bandwidth (Fig. 2)")
+    pp.add_argument("--backend", choices=["mpi", "lci"], default="lci")
+    pp.add_argument("--fragment", type=_size, default=_size("128K"))
+    pp.add_argument("--total", type=_size, default=None, help="bytes per iteration")
+    pp.add_argument("--streams", type=int, default=1)
+    pp.add_argument("--iterations", type=int, default=6)
+    pp.add_argument("--no-sync", action="store_true")
+
+    ov = sub.add_parser("overlap", help="compute/comm overlap (Fig. 3)")
+    ov.add_argument("--backend", choices=["mpi", "lci"], default="lci")
+    ov.add_argument("--fragment", type=_size, default=_size("512K"))
+    ov.add_argument("--total", type=_size, default=None)
+
+    hc = sub.add_parser("hicma", help="TLR Cholesky (Fig. 4/5)")
+    hc.add_argument("--backend", choices=["mpi", "lci"], default="lci")
+    hc.add_argument("--matrix", type=int, default=36_000)
+    hc.add_argument("--tile", type=int, default=1200)
+    hc.add_argument("--nodes", type=int, default=4)
+    hc.add_argument("--mt-activate", action="store_true",
+                    help="workers send ACTIVATEs directly (§6.4.3)")
+    hc.add_argument("--native-put", action="store_true",
+                    help="LCI one-sided put (§7 future work)")
+    hc.add_argument("--json", metavar="PATH", default=None,
+                    help="also dump the result as JSON")
+
+    np_ = sub.add_parser("netpipe", help="raw fabric ping-pong baseline")
+    np_.add_argument("sizes", nargs="*", type=_size,
+                     default=[_size(s) for s in ("4K", "64K", "1M", "8M")])
+
+    cp = sub.add_parser("compare", help="MPI vs LCI ping-pong side by side")
+    cp.add_argument("--fragment", type=_size, default=_size("128K"))
+    cp.add_argument("--total", type=_size, default=None)
+
+    sw = sub.add_parser("sweep", help="ping-pong bandwidth across fragment sizes")
+    sw.add_argument("fragments", nargs="*", type=_size,
+                    default=[_size(s) for s in ("32K", "128K", "512K", "2M")])
+    sw.add_argument("--total", type=_size, default=_size("8M"))
+    sw.add_argument("--streams", type=int, default=1)
+
+    va = sub.add_parser("validate", help="simulator self-checks vs closed forms")
+    va.add_argument("--size", type=_size, default=_size("1M"))
+
+    sub.add_parser("info", help="print calibrated platform constants")
+    return parser
+
+
+def cmd_pingpong(args) -> int:
+    """Run one ping-pong configuration and print its bandwidth."""
+    from repro.bench.pingpong import PingPongConfig, run_pingpong_benchmark
+
+    cfg = PingPongConfig(
+        fragment_size=args.fragment,
+        streams=args.streams,
+        total_bytes=args.total,
+        iterations=args.iterations,
+        sync=not args.no_sync,
+    )
+    result = run_pingpong_benchmark(args.backend, cfg)
+    print(result.summary())
+    print(f"  window          : {cfg.window} fragments")
+    print(f"  mean e2e latency: {result.flow_latency.get('mean', 0) * 1e6:.2f} us")
+    return 0
+
+
+def cmd_overlap(args) -> int:
+    """Run one overlap configuration against the analytic bounds."""
+    from repro.bench.overlap import (
+        OverlapConfig,
+        no_overlap_flops,
+        roofline_flops,
+        run_overlap_benchmark,
+    )
+    from repro.config import scaled_platform
+
+    platform = scaled_platform(num_nodes=2)
+    cfg = OverlapConfig(fragment_size=args.fragment, total_bytes=args.total)
+    result = run_overlap_benchmark(args.backend, cfg, platform)
+    print(result.summary())
+    print(f"  roofline  : {roofline_flops(cfg, platform) / 1e12:.3f} TFLOP/s")
+    print(f"  no overlap: {no_overlap_flops(cfg, platform) / 1e12:.3f} TFLOP/s")
+    return 0
+
+
+def cmd_hicma(args) -> int:
+    """Run one simulated TLR Cholesky configuration."""
+    from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+    from repro.config import scaled_platform
+    from repro.runtime.context import ParsecContext
+    from repro.hicma.dag import build_tlr_cholesky_graph
+    from repro.hicma.ranks import RankModel
+    from repro.hicma.timing import KernelTimeModel
+
+    cfg = HicmaConfig(
+        matrix_size=args.matrix,
+        tile_size=args.tile,
+        num_nodes=args.nodes,
+        multithreaded_activate=args.mt_activate,
+    )
+    if args.native_put:
+        platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=8)
+        graph = build_tlr_cholesky_graph(
+            cfg.nt, cfg.tile_size, num_nodes=cfg.num_nodes,
+            rank_model=RankModel(cfg.nt, cfg.tile_size, cfg.maxrank),
+            time_model=KernelTimeModel(platform.compute),
+        )
+        ctx = ParsecContext(
+            platform, backend="lci", native_put=True,
+            multithreaded_activate=args.mt_activate,
+        )
+        stats = ctx.run(graph, until=36_000.0)
+        print(f"hicma[lci, native put] N={cfg.matrix_size} tile={cfg.tile_size} "
+              f"nodes={cfg.num_nodes}: TTS={stats.makespan:.3f}s "
+              f"e2e={stats.mean_flow_latency * 1e3:.2f}ms")
+        return 0
+    result = run_hicma_benchmark(args.backend, cfg)
+    print(result.summary())
+    print(f"  tasks            : {result.tasks}")
+    print(f"  wire traffic     : {result.wire_bytes / 1e6:.1f} MB")
+    print(f"  worker utilization: {result.worker_utilization:.1%}")
+    if args.json:
+        from repro.analysis.export import dump_results
+
+        dump_results(result, args.json, title="hicma")
+        print(f"  wrote {args.json}")
+    return 0
+
+
+def cmd_netpipe(args) -> int:
+    """Print the raw fabric ping-pong bandwidth for each size."""
+    from repro.network.netpipe import netpipe_bandwidth_curve
+    from repro.units import fmt_size, gbit_per_s
+
+    for size, bw in netpipe_bandwidth_curve(args.sizes):
+        print(f"  {fmt_size(size):>10}: {gbit_per_s(bw):7.2f} Gbit/s")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run MPI and LCI side by side on the ping-pong benchmark."""
+    from repro.api import quick_compare
+
+    comp = quick_compare(fragment_size=args.fragment, total_bytes=args.total)
+    print(comp.summary())
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Dump every calibrated platform constant."""
+    import dataclasses
+
+    from repro.config import expanse_platform
+
+    platform = expanse_platform()
+    for section in ("network", "mpi", "lci", "runtime", "compute"):
+        print(f"[{section}]")
+        for f in dataclasses.fields(getattr(platform, section)):
+            print(f"  {f.name} = {getattr(getattr(platform, section), f.name)!r}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Ping-pong both backends across fragment sizes; print a table."""
+    from repro.analysis.ascii_plot import ascii_table
+    from repro.bench.pingpong import PingPongConfig, run_pingpong_benchmark
+    from repro.units import fmt_size
+
+    rows = []
+    for frag in args.fragments:
+        row = [fmt_size(frag)]
+        for backend in ("mpi", "lci"):
+            r = run_pingpong_benchmark(
+                backend,
+                PingPongConfig(
+                    fragment_size=frag,
+                    total_bytes=args.total,
+                    streams=args.streams,
+                    iterations=5,
+                ),
+            )
+            row.append(f"{r.bandwidth_gbit:.1f}")
+        rows.append(tuple(row))
+    print(
+        ascii_table(
+            ["fragment", "MPI Gbit/s", "LCI Gbit/s"],
+            rows,
+            title=f"ping-pong sweep ({args.streams} stream(s), "
+            f"{args.total} B/iteration)",
+        )
+    )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Run the simulator's closed-form self-checks."""
+    from repro.analysis.validation import (
+        validate_compute_bound_makespan,
+        validate_netpipe_bandwidth,
+        validate_netpipe_latency,
+    )
+
+    results = [
+        validate_netpipe_latency(args.size),
+        validate_netpipe_bandwidth(args.size),
+        validate_compute_bound_makespan(),
+    ]
+    for r in results:
+        print(r.summary())
+    return 0 if all(r.ok for r in results) else 1
+
+
+_COMMANDS = {
+    "pingpong": cmd_pingpong,
+    "overlap": cmd_overlap,
+    "hicma": cmd_hicma,
+    "netpipe": cmd_netpipe,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "validate": cmd_validate,
+    "info": cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch simulation-level failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all repro-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. running a finished sim)."""
+
+
+class NetworkError(ReproError):
+    """Invalid network configuration or routing failure."""
+
+
+class MpiError(ReproError):
+    """Simulated-MPI usage error (invalid rank, truncated receive, ...)."""
+
+
+class LciError(ReproError):
+    """Simulated-LCI usage error (bad endpoint, message too large, ...)."""
+
+
+class RuntimeBackendError(ReproError):
+    """PaRSEC-like runtime misconfiguration or protocol violation."""
+
+
+class HicmaError(ReproError):
+    """HiCMA numerical or DAG-construction failure."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness configuration error."""

@@ -1,0 +1,46 @@
+"""HiCMA: tile low-rank (TLR) Cholesky factorization.
+
+Two complementary halves:
+
+- **Real numerics** (:mod:`starsh`, :mod:`lowrank`, :mod:`kernels`,
+  :mod:`tlr`, :mod:`cholesky`): a working TLR Cholesky on NumPy — squared-
+  exponential (st-2d-sqexp) kernel matrices, SVD tile compression, low-rank
+  TRSM/SYRK/GEMM with QR-based recompression — validated against dense
+  Cholesky at laptop scale.  This is the substitute for HiCMA + STARS-H.
+- **Simulation models** (:mod:`ranks`, :mod:`timing`, :mod:`dag`): a rank-
+  distribution model calibrated to both the paper's reported statistics and
+  our own measured ranks, kernel flop/time models, and a task-graph builder
+  producing the two-flow TLR Cholesky DAG the paper runs at N = 360,000 —
+  executable on the simulated PaRSEC runtime at any scale.
+"""
+
+from repro.hicma.starsh import SqExpProblem
+from repro.hicma.lowrank import LowRankTile, compress_dense, recompress
+from repro.hicma.tlr import TLRMatrix
+from repro.hicma.cholesky import tlr_cholesky, dense_tiled_cholesky
+from repro.hicma.solve import tlr_solve, tlr_forward_solve, tlr_backward_solve
+from repro.hicma.ranks import RankModel
+from repro.hicma.timing import KernelTimeModel
+from repro.hicma.dag import (
+    build_tlr_cholesky_graph,
+    build_dense_cholesky_graph,
+    block_cyclic_node,
+)
+
+__all__ = [
+    "SqExpProblem",
+    "LowRankTile",
+    "compress_dense",
+    "recompress",
+    "TLRMatrix",
+    "tlr_cholesky",
+    "dense_tiled_cholesky",
+    "tlr_solve",
+    "tlr_forward_solve",
+    "tlr_backward_solve",
+    "RankModel",
+    "KernelTimeModel",
+    "build_tlr_cholesky_graph",
+    "build_dense_cholesky_graph",
+    "block_cyclic_node",
+]

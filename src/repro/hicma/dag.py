@@ -1,0 +1,278 @@
+"""Task-graph builder for the two-flow TLR Cholesky (HiCMA on PaRSEC).
+
+Builds the right-looking tile Cholesky DAG with band size 1 — the paper's
+§6.4 configuration — as a :class:`~repro.runtime.taskpool.TaskGraph`
+executable on the simulated runtime:
+
+- tiles are distributed 2D block-cyclically over a P×Q process grid;
+- ``POTRF(k)`` broadcasts L_kk down column k (the runtime builds the
+  binomial multicast tree);
+- ``TRSM(i,k)`` results feed ``SYRK(i,k)`` and every ``GEMM`` in row/column
+  i — the widest multicasts in the graph;
+- per-tile update chains (GEMM/SYRK accumulation) are node-local flows;
+- the **two-flow** variant ships each low-rank tile as two dataflows (the U
+  and V factors separately, each b·r·8 bytes) rather than one packed
+  2·b·r·8 message — more, smaller messages, finer pipelining (HiCMA [7,8]);
+- priorities follow the critical path: panel operations at small k first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import HicmaError
+from repro.hicma.ranks import RankModel
+from repro.hicma.timing import KernelTimeModel
+from repro.runtime.taskpool import TaskGraph
+
+__all__ = ["build_tlr_cholesky_graph", "block_cyclic_node", "process_grid"]
+
+
+def process_grid(num_nodes: int) -> tuple[int, int]:
+    """Nearly square P×Q factorization of the node count (P ≤ Q)."""
+    if num_nodes < 1:
+        raise HicmaError("need at least one node")
+    p = int(num_nodes**0.5)
+    while num_nodes % p != 0:
+        p -= 1
+    return p, num_nodes // p
+
+
+def block_cyclic_node(i: int, j: int, p: int, q: int) -> int:
+    """Owner of tile (i, j) in a 2D block-cyclic distribution."""
+    return (i % p) * q + (j % q)
+
+
+def build_tlr_cholesky_graph(
+    nt: int,
+    tile_size: int,
+    num_nodes: int,
+    rank_model: Optional[RankModel] = None,
+    time_model: Optional[KernelTimeModel] = None,
+    maxrank: int = 150,
+    two_flow: bool = True,
+    band: int = 1,
+) -> TaskGraph:
+    """Build the TLR Cholesky DAG for an NT×NT tile matrix.
+
+    ``band`` widens the dense diagonal band (the paper uses 1): tiles with
+    ``|i − j| < band`` are dense, so their kernels run at dense rates and
+    their dataflows carry full b²·8-byte tiles.
+    """
+    if nt < 1:
+        raise HicmaError("need at least one tile")
+    if band < 1:
+        raise HicmaError("band must be at least 1")
+    ranks = rank_model or RankModel(nt, tile_size, maxrank)
+    times = time_model or KernelTimeModel()
+    p, q = process_grid(num_nodes)
+    g = TaskGraph()
+    b = tile_size
+    dense_bytes = b * b * 8
+
+    def owner(i: int, j: int) -> int:
+        return block_cyclic_node(i, j, p, q)
+
+    def is_dense(i: int, j: int) -> bool:
+        return abs(i - j) < band
+
+    def prio(kind: str, k: int) -> float:
+        # Higher = sooner.  Panel ops of early steps dominate the critical
+        # path; within a step POTRF > TRSM > SYRK > GEMM (DPLASMA-style).
+        base = {"potrf": 3e9, "trsm": 2e9, "syrk": 1e9, "gemm": 0.0}[kind]
+        return base + (nt - k) * 1e3
+
+    # tile_dep[(i, j)] = flow ids representing the latest version of tile
+    # (i, j) (the accumulation chain); None before any update.
+    tile_dep: dict[tuple[int, int], list[int]] = {}
+    # trsm_flows[i] = flows of the current panel column's TRSM output row i.
+    for k in range(nt):
+        # ---- POTRF(k) ----
+        inputs = tile_dep.pop((k, k), [])
+        potrf_t = g.add_task(
+            node=owner(k, k),
+            duration=times.potrf(b),
+            priority=prio("potrf", k),
+            inputs=inputs,
+            kind="potrf",
+        )
+        if k == nt - 1:
+            break
+        # L_kk flows to every TRSM in column k (broadcast).
+        lkk_flow = g.add_flow(potrf_t, dense_bytes)
+
+        # ---- TRSM(i, k) for i > k ----
+        trsm_flows: dict[int, list[int]] = {}
+        for i in range(k + 1, nt):
+            inputs = [lkk_flow] + tile_dep.pop((i, k), [])
+            dense_panel = is_dense(i, k)
+            r = 0 if dense_panel else ranks.rank(i, k)
+            trsm_t = g.add_task(
+                node=owner(i, k),
+                duration=times.trsm_dense(b) if dense_panel else times.trsm(b, r),
+                priority=prio("trsm", k),
+                inputs=inputs,
+                kind="trsm",
+            )
+            if dense_panel:
+                trsm_flows[i] = [g.add_flow(trsm_t, dense_bytes)]
+            elif two_flow:
+                half = b * r * 8
+                trsm_flows[i] = [g.add_flow(trsm_t, half), g.add_flow(trsm_t, half)]
+            else:
+                trsm_flows[i] = [g.add_flow(trsm_t, 2 * b * r * 8)]
+
+        # ---- SYRK(i, k) and GEMM(i, j, k) ----
+        for i in range(k + 1, nt):
+            panel_dense = is_dense(i, k)
+            r_ik = 0 if panel_dense else ranks.rank(i, k)
+            syrk_inputs = list(trsm_flows[i]) + tile_dep.pop((i, i), [])
+            syrk_t = g.add_task(
+                node=owner(i, i),
+                duration=times.syrk_dense(b) if panel_dense else times.syrk(b, r_ik),
+                priority=prio("syrk", k),
+                inputs=syrk_inputs,
+                kind="syrk",
+            )
+            # SYRK's output is the updated (i,i) tile: a node-local chain
+            # flow consumed by the next update or the POTRF of step i.
+            tile_dep[(i, i)] = [g.add_flow(syrk_t, dense_bytes)]
+            for j in range(k + 1, i):
+                gemm_inputs = (
+                    list(trsm_flows[i])
+                    + list(trsm_flows[j])
+                    + tile_dep.pop((i, j), [])
+                )
+                c_dense = is_dense(i, j)
+                r_ij = 0 if c_dense else ranks.rank(i, j)
+                gemm_t = g.add_task(
+                    node=owner(i, j),
+                    duration=times.gemm_mixed(
+                        b,
+                        max(r_ij, 1),
+                        c_dense,
+                        is_dense(i, k),
+                        is_dense(j, k),
+                    ),
+                    priority=prio("gemm", k),
+                    inputs=gemm_inputs,
+                    kind="gemm",
+                )
+                out_bytes = dense_bytes if c_dense else 2 * b * r_ij * 8
+                tile_dep[(i, j)] = [g.add_flow(gemm_t, out_bytes)]
+    return g
+
+
+def build_compression_graph(
+    nt: int,
+    tile_size: int,
+    num_nodes: int,
+    time_model: Optional[KernelTimeModel] = None,
+    maxrank: int = 150,
+    band: int = 1,
+) -> TaskGraph:
+    """HiCMA phase 1: generate + compress every lower-triangle tile.
+
+    Each tile is produced locally on its owner (the kernel function is
+    evaluated in place, so no data crosses the network) and off-band tiles
+    are RSVD-compressed — an embarrassingly parallel phase whose cost the
+    HiCMA papers report separately from the factorization.
+    """
+    if nt < 1:
+        raise HicmaError("need at least one tile")
+    times = time_model or KernelTimeModel()
+    p, q = process_grid(num_nodes)
+    g = TaskGraph()
+    for i in range(nt):
+        for j in range(i + 1):
+            duration = times.generate(tile_size)
+            if abs(i - j) >= band:
+                duration += times.compress(tile_size, maxrank)
+            g.add_task(
+                node=block_cyclic_node(i, j, p, q),
+                duration=duration,
+                kind="compress" if abs(i - j) >= band else "generate",
+            )
+    return g
+
+
+def expected_task_count(nt: int) -> int:
+    """POTRF + TRSM + SYRK + GEMM counts for an NT-tile Cholesky."""
+    return nt + nt * (nt - 1) // 2 + nt * (nt - 1) // 2 + nt * (nt - 1) * (nt - 2) // 6
+
+
+def build_dense_cholesky_graph(
+    nt: int,
+    tile_size: int,
+    num_nodes: int,
+    time_model: Optional[KernelTimeModel] = None,
+) -> TaskGraph:
+    """The DPLASMA substrate: dense tile Cholesky DAG.
+
+    Same task-graph structure as the TLR variant, but every tile is dense:
+    kernels are full-rank BLAS3 (TRSM b³, SYRK b³, GEMM 2b³) and every
+    dataflow carries b²·8 bytes.  HiCMA's motivation (§6.4.1) is visible by
+    comparing this graph's compute and traffic with the TLR one.
+    """
+    if nt < 1:
+        raise HicmaError("need at least one tile")
+    times = time_model or KernelTimeModel()
+    rate = times.compute.flops_per_core
+    p, q = process_grid(num_nodes)
+    g = TaskGraph()
+    b = tile_size
+    dense_bytes = b * b * 8
+    potrf_d = times.potrf(b)
+    trsm_d = b**3 / rate
+    syrk_d = b**3 / rate
+    gemm_d = 2 * b**3 / rate
+
+    def owner(i: int, j: int) -> int:
+        return block_cyclic_node(i, j, p, q)
+
+    def prio(kind: str, k: int) -> float:
+        base = {"potrf": 3e9, "trsm": 2e9, "syrk": 1e9, "gemm": 0.0}[kind]
+        return base + (nt - k) * 1e3
+
+    tile_dep: dict[tuple[int, int], list[int]] = {}
+    for k in range(nt):
+        potrf_t = g.add_task(
+            node=owner(k, k),
+            duration=potrf_d,
+            priority=prio("potrf", k),
+            inputs=tile_dep.pop((k, k), []),
+            kind="potrf",
+        )
+        if k == nt - 1:
+            break
+        lkk_flow = g.add_flow(potrf_t, dense_bytes)
+        trsm_flows: dict[int, int] = {}
+        for i in range(k + 1, nt):
+            trsm_t = g.add_task(
+                node=owner(i, k),
+                duration=trsm_d,
+                priority=prio("trsm", k),
+                inputs=[lkk_flow] + tile_dep.pop((i, k), []),
+                kind="trsm",
+            )
+            trsm_flows[i] = g.add_flow(trsm_t, dense_bytes)
+        for i in range(k + 1, nt):
+            syrk_t = g.add_task(
+                node=owner(i, i),
+                duration=syrk_d,
+                priority=prio("syrk", k),
+                inputs=[trsm_flows[i]] + tile_dep.pop((i, i), []),
+                kind="syrk",
+            )
+            tile_dep[(i, i)] = [g.add_flow(syrk_t, dense_bytes)]
+            for j in range(k + 1, i):
+                gemm_t = g.add_task(
+                    node=owner(i, j),
+                    duration=gemm_d,
+                    priority=prio("gemm", k),
+                    inputs=[trsm_flows[i], trsm_flows[j]]
+                    + tile_dep.pop((i, j), []),
+                    kind="gemm",
+                )
+                tile_dep[(i, j)] = [g.add_flow(gemm_t, dense_bytes)]
+    return g

@@ -1,0 +1,162 @@
+"""Tile kernels: dense BLAS/LAPACK wrappers and their low-rank variants.
+
+Naming follows HiCMA/DPLASMA: the right-looking tile Cholesky at step k runs
+
+- ``potrf`` on the diagonal tile (k,k);
+- ``trsm`` on every tile (i,k), i>k (panel);
+- ``syrk`` updating each diagonal tile (i,i) with panel tile (i,k);
+- ``gemm`` updating each off-diagonal tile (i,j) with panel tiles (i,k),
+  (j,k).
+
+With band size 1 (the paper's configuration) every off-diagonal tile is
+low-rank, so ``trsm``/``syrk``/``gemm`` operate on U·Vᵀ factors and only
+``potrf``/``syrk`` touch dense data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.errors import HicmaError
+from repro.hicma.lowrank import LowRankTile, recompress
+
+__all__ = [
+    "potrf",
+    "trsm_dense",
+    "syrk_dense",
+    "gemm_dense",
+    "trsm_lr",
+    "syrk_lr",
+    "gemm_lr",
+]
+
+
+# -- dense kernels (DPLASMA substrate) ---------------------------------------
+
+
+def potrf(a: np.ndarray) -> np.ndarray:
+    """Cholesky of a diagonal tile: A = L·Lᵀ, returns L (lower)."""
+    try:
+        return np.linalg.cholesky(a)
+    except np.linalg.LinAlgError as exc:
+        raise HicmaError(f"potrf failed: {exc}") from exc
+
+
+def trsm_dense(l_kk: np.ndarray, a_ik: np.ndarray) -> np.ndarray:
+    """A_ik ← A_ik · L_kkᵀ⁻¹ (right, lower, transposed)."""
+    # Solve X · L^T = A  ⇔  L · X^T = A^T.
+    return sla.solve_triangular(l_kk, a_ik.T, lower=True).T
+
+
+def syrk_dense(a_ii: np.ndarray, a_ik: np.ndarray) -> np.ndarray:
+    """A_ii ← A_ii − A_ik · A_ikᵀ."""
+    return a_ii - a_ik @ a_ik.T
+
+
+def gemm_dense(a_ij: np.ndarray, a_ik: np.ndarray, a_jk: np.ndarray) -> np.ndarray:
+    """A_ij ← A_ij − A_ik · A_jkᵀ."""
+    return a_ij - a_ik @ a_jk.T
+
+
+# -- low-rank kernels (HiCMA) -------------------------------------------------
+
+
+def trsm_lr(l_kk: np.ndarray, a_ik: LowRankTile) -> LowRankTile:
+    """(U Vᵀ) L⁻ᵀ = U (L⁻¹ V)ᵀ — rank is preserved, only V changes."""
+    v_new = sla.solve_triangular(l_kk, a_ik.v, lower=True)
+    return LowRankTile(a_ik.u, v_new)
+
+
+def syrk_lr(a_ii: np.ndarray, a_ik: LowRankTile) -> np.ndarray:
+    """A_ii ← A_ii − (U Vᵀ)(U Vᵀ)ᵀ = A_ii − U (VᵀV) Uᵀ (dense result)."""
+    w = a_ik.v.T @ a_ik.v  # k×k gram matrix
+    return a_ii - a_ik.u @ w @ a_ik.u.T
+
+
+def gemm_lr(
+    c_ij: LowRankTile,
+    a_ik: LowRankTile,
+    a_jk: LowRankTile,
+    tol: float,
+    maxrank: Optional[int] = None,
+) -> LowRankTile:
+    """C_ij ← C_ij − A_ik · A_jkᵀ, all low-rank, with recompression.
+
+    A_ik A_jkᵀ = U₁ (V₁ᵀ V₂) U₂ᵀ — a rank-min(k₁,k₂) product; the update is
+    formed as a stacked sum and rounded back down (HiCMA's LR GEMM).
+    """
+    m = a_ik.v.T @ a_jk.v  # k1×k2 core
+    u_p = a_ik.u @ m  # m×k2
+    v_p = a_jk.u  # n×k2
+    u_stack = np.hstack([c_ij.u, -u_p])
+    v_stack = np.hstack([c_ij.v, v_p])
+    return recompress(u_stack, v_stack, tol, maxrank)
+
+
+# -- mixed dense/low-rank kernels (band sizes > 1) ----------------------------
+
+
+def _product_lr(a, b) -> LowRankTile:
+    """A · Bᵀ as a low-rank tile, for any dense/LR combination where at
+    least one operand is low-rank."""
+    a_lr = isinstance(a, LowRankTile)
+    b_lr = isinstance(b, LowRankTile)
+    if a_lr and b_lr:
+        return LowRankTile(a.u @ (a.v.T @ b.v), b.u)
+    if a_lr:
+        # (U₁V₁ᵀ)Bᵀ = U₁ (B V₁)ᵀ
+        return LowRankTile(a.u, b @ a.v)
+    if b_lr:
+        # A(U₂V₂ᵀ)ᵀ = (A V₂) U₂ᵀ
+        return LowRankTile(a @ b.v, b.u)
+    raise HicmaError("_product_lr requires at least one low-rank operand")
+
+
+def gemm_mixed(
+    c_ij,
+    a_ik,
+    a_jk,
+    tol: float,
+    maxrank: Optional[int] = None,
+):
+    """C_ij ← C_ij − A_ik · A_jkᵀ for any dense/low-rank tile combination
+    (needed when the dense band is wider than one tile).
+
+    Returns a tile of the same class as ``c_ij``.
+    """
+    c_dense = isinstance(c_ij, np.ndarray)
+    a_dense = isinstance(a_ik, np.ndarray)
+    b_dense = isinstance(a_jk, np.ndarray)
+    if c_dense:
+        if a_dense and b_dense:
+            return gemm_dense(c_ij, a_ik, a_jk)
+        p = _product_lr(a_ik, a_jk)
+        return c_ij - p.to_dense()
+    if a_dense and b_dense:
+        # Dense product subtracted from a low-rank target: compress the
+        # product at the working accuracy, then stack + recompress.
+        from repro.hicma.lowrank import compress_dense
+
+        p = compress_dense(a_ik @ a_jk.T, tol, maxrank)
+    else:
+        p = _product_lr(a_ik, a_jk)
+    u_stack = np.hstack([c_ij.u, -p.u])
+    v_stack = np.hstack([c_ij.v, p.v])
+    return recompress(u_stack, v_stack, tol, maxrank)
+
+
+def syrk_mixed(a_ii: np.ndarray, a_ik) -> np.ndarray:
+    """A_ii ← A_ii − A_ik·A_ikᵀ for a dense or low-rank panel tile."""
+    if isinstance(a_ik, np.ndarray):
+        return syrk_dense(a_ii, a_ik)
+    return syrk_lr(a_ii, a_ik)
+
+
+def trsm_mixed(l_kk: np.ndarray, a_ik):
+    """A_ik ← A_ik·L_kk⁻ᵀ for a dense or low-rank panel tile."""
+    if isinstance(a_ik, np.ndarray):
+        return trsm_dense(l_kk, a_ik)
+    return trsm_lr(l_kk, a_ik)

@@ -1,0 +1,124 @@
+"""Low-rank tiles: compression, recompression, arithmetic helpers.
+
+A tile A (m×n) is stored as ``A ≈ U @ V.T`` with U (m×k), V (n×k) — HiCMA's
+packed U×V format.  Compression truncates the SVD at the accuracy threshold
+(relative to the largest singular value, as HiCMA's ``fixed accuracy``
+mode); recompression rounds a sum of low-rank terms back down with the
+standard QR+SVD scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import HicmaError
+
+__all__ = ["LowRankTile", "compress_dense", "recompress"]
+
+
+class LowRankTile:
+    """A U·Vᵀ factorization of a tile."""
+
+    __slots__ = ("u", "v")
+
+    def __init__(self, u: np.ndarray, v: np.ndarray):
+        if u.ndim != 2 or v.ndim != 2 or u.shape[1] != v.shape[1]:
+            raise HicmaError(
+                f"inconsistent low-rank factors: U{u.shape} V{v.shape}"
+            )
+        self.u = u
+        self.v = v
+
+    @property
+    def rank(self) -> int:
+        """Number of columns in the U/V factors."""
+        return self.u.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (rows, cols) of the represented tile."""
+        return (self.u.shape[0], self.v.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Memory in packed U×V format (what travels on the network)."""
+        return self.u.nbytes + self.v.nbytes
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize U·Vᵀ."""
+        return self.u @ self.v.T
+
+    def copy(self) -> "LowRankTile":
+        """Deep copy of both factors."""
+        return LowRankTile(self.u.copy(), self.v.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LowRankTile({self.shape[0]}x{self.shape[1]}, rank={self.rank})"
+
+
+def _truncate_rank(s: np.ndarray, tol: float, maxrank: Optional[int]) -> int:
+    """Rank needed so discarded singular values are below tol·σ₁."""
+    if s.size == 0 or s[0] == 0.0:
+        return 1
+    k = int(np.sum(s > tol * s[0]))
+    k = max(k, 1)
+    if maxrank is not None:
+        k = min(k, maxrank)
+    return k
+
+
+def compress_dense(
+    a: np.ndarray,
+    tol: float,
+    maxrank: Optional[int] = None,
+    method: str = "svd",
+    oversampling: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> LowRankTile:
+    """Compress a dense tile to the accuracy threshold.
+
+    ``method="svd"`` is the exact (deterministic) truncated SVD;
+    ``method="rsvd"`` is the Halko–Martinsson–Tropp randomized SVD that
+    production HiCMA/STARS-H use for large tiles: project onto a random
+    ``maxrank + oversampling``-dimensional subspace, orthonormalize, and
+    SVD the small core.  RSVD requires ``maxrank``.
+    """
+    if a.ndim != 2:
+        raise HicmaError("compress_dense expects a matrix")
+    if tol <= 0:
+        raise HicmaError("tolerance must be positive")
+    if method == "svd":
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        k = _truncate_rank(s, tol, maxrank)
+        return LowRankTile(u[:, :k] * s[:k], vt[:k].T)
+    if method != "rsvd":
+        raise HicmaError(f"unknown compression method {method!r}")
+    if maxrank is None:
+        raise HicmaError("rsvd compression requires maxrank")
+    rng = rng or np.random.default_rng(0)
+    m, n = a.shape
+    sketch = min(maxrank + oversampling, min(m, n))
+    omega = rng.standard_normal((n, sketch))
+    q, _ = np.linalg.qr(a @ omega)
+    # One power iteration sharpens the subspace for slowly decaying spectra.
+    q, _ = np.linalg.qr(a @ (a.T @ q))
+    b = q.T @ a  # sketch × n core
+    ub, s, vt = np.linalg.svd(b, full_matrices=False)
+    k = _truncate_rank(s, tol, maxrank)
+    return LowRankTile(q @ (ub[:, :k] * s[:k]), vt[:k].T)
+
+
+def recompress(
+    u: np.ndarray, v: np.ndarray, tol: float, maxrank: Optional[int] = None
+) -> LowRankTile:
+    """Round U·Vᵀ (typically a sum of low-rank terms stacked column-wise)
+    back down to minimal rank: QR of both factors, SVD of the small core."""
+    if u.shape[1] != v.shape[1]:
+        raise HicmaError("recompress: factor rank mismatch")
+    qu, ru = np.linalg.qr(u)
+    qv, rv = np.linalg.qr(v)
+    uu, s, vvt = np.linalg.svd(ru @ rv.T)
+    k = _truncate_rank(s, tol, maxrank)
+    return LowRankTile(qu @ (uu[:, :k] * s[:k]), qv @ vvt[:k].T)

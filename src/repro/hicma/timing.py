@@ -1,0 +1,124 @@
+"""Kernel flop counts and execution-time models.
+
+Flop counts follow the low-rank kernel algebra of :mod:`repro.hicma.kernels`:
+
+- ``potrf(b)``: b³/3 (dense, GEMM-like rate);
+- ``trsm_lr(b, r)``: a triangular solve applied to V (b×r): b²·r;
+- ``syrk_lr(b, r)``: Gram matrix b·r² plus the dense update b²·r (+ b·r²);
+- ``gemm_lr(b, r)``: core products ~b·r² plus QR+SVD recompression of the
+  stacked rank-2r factors: ≈ 6·b·(2r)² + O(r³) — the dominant cost, and far
+  less compute-dense than a dense GEMM, which is why HiCMA stresses the
+  network (§6.4.1).
+
+The dense band's POTRF/TRSM panel kernels in HiCMA-PaRSEC use parallel
+(multi-core) implementations on the large band tiles; ``diag_cores`` models
+that, keeping the diagonal chain from dominating the makespan the way a
+strictly single-core panel would.
+"""
+
+from __future__ import annotations
+
+from repro.config import ComputeConfig
+from repro.errors import HicmaError
+
+__all__ = ["KernelTimeModel"]
+
+
+class KernelTimeModel:
+    """Maps (kernel, tile size, ranks) to simulated execution seconds."""
+
+    def __init__(self, compute: ComputeConfig | None = None, diag_cores: int = 4):
+        if diag_cores < 1:
+            raise HicmaError("diag_cores must be at least 1")
+        self.compute = compute or ComputeConfig()
+        self.diag_cores = diag_cores
+
+    # -- flop counts -------------------------------------------------------
+
+    @staticmethod
+    def potrf_flops(b: int) -> float:
+        """Dense Cholesky of a b×b tile."""
+        return b**3 / 3.0
+
+    @staticmethod
+    def trsm_flops(b: int, r: int) -> float:
+        """Triangular solve applied to a rank-r V factor."""
+        return float(b) * b * r
+
+    @staticmethod
+    def syrk_flops(b: int, r: int) -> float:
+        """Low-rank SYRK into a dense diagonal tile."""
+        return float(b) * b * r + 2.0 * b * r * r
+
+    @staticmethod
+    def gemm_flops(b: int, r: int) -> float:
+        """LR×LR GEMM including the QR+SVD recompression (dominant)."""
+        rs = 2.0 * r  # stacked rank before recompression
+        return 6.0 * b * rs * rs + 20.0 * rs**3 + 2.0 * b * r * r
+
+    # -- durations -----------------------------------------------------------
+
+    def potrf(self, b: int) -> float:
+        """POTRF duration (multi-core panel kernel, see diag_cores)."""
+        return self.potrf_flops(b) / (self.compute.flops_per_core * self.diag_cores)
+
+    def trsm(self, b: int, r: int) -> float:
+        """Low-rank TRSM duration."""
+        return self.trsm_flops(b, r) / self.compute.flops_per_core
+
+    def syrk(self, b: int, r: int) -> float:
+        """Low-rank SYRK duration."""
+        return self.syrk_flops(b, r) / self.compute.lr_flops_per_core
+
+    def gemm(self, b: int, r: int) -> float:
+        """Low-rank GEMM duration."""
+        return self.gemm_flops(b, r) / self.compute.lr_flops_per_core
+
+    def compress(self, b: int, maxrank: int, oversampling: int = 10) -> float:
+        """Duration of compressing one off-band tile (HiCMA phase 1).
+
+        Randomized SVD with one power iteration: two b×b×s sketch products
+        plus QR/SVD of the b×s panel, s = maxrank + oversampling.
+        """
+        s = maxrank + oversampling
+        flops = 4.0 * b * b * s + 6.0 * b * s * s
+        return flops / self.compute.flops_per_core
+
+    def generate(self, b: int) -> float:
+        """Duration of materializing one b×b kernel-matrix tile."""
+        return 20.0 * b * b / self.compute.flops_per_core
+
+    # -- dense and mixed variants (band sizes > 1) -----------------------
+
+    def trsm_dense(self, b: int) -> float:
+        """Dense TRSM duration (band tiles)."""
+        return float(b) ** 3 / self.compute.flops_per_core
+
+    def syrk_dense(self, b: int) -> float:
+        """Dense SYRK duration (band tiles)."""
+        return float(b) ** 3 / self.compute.flops_per_core
+
+    def gemm_mixed(
+        self, b: int, r: int, c_dense: bool, a_dense: bool, b_dense: bool
+    ) -> float:
+        """Duration of C ← C − A·Bᵀ for a dense/LR tile combination."""
+        if a_dense and b_dense:
+            # Full dense product (then possibly compressed into an LR C).
+            flops = 2.0 * b**3
+            if not c_dense:
+                flops += 6.0 * b * (2.0 * r) ** 2  # compression + recompress
+            return flops / self.compute.flops_per_core
+        if c_dense:
+            # LR product evaluated into a dense tile: O(b²·r).
+            return (2.0 * b * b * r) / self.compute.flops_per_core
+        return self.gemm(b, r)
+
+    def total_flops(self, nt: int, b: int, mean_rank: float) -> float:
+        """Rough total flop count of a factorization (for roofline checks)."""
+        r = mean_rank
+        return (
+            nt * self.potrf_flops(b)
+            + nt * (nt - 1) / 2 * self.trsm_flops(b, int(r))
+            + nt * (nt - 1) / 2 * self.syrk_flops(b, int(r))
+            + nt * (nt - 1) * (nt - 2) / 6 * self.gemm_flops(b, int(r))
+        )

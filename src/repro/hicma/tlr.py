@@ -1,0 +1,134 @@
+"""The TLR matrix container: dense band + low-rank off-band tiles."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import HicmaError
+from repro.hicma.lowrank import LowRankTile, compress_dense
+from repro.hicma.starsh import SqExpProblem
+
+__all__ = ["TLRMatrix"]
+
+Tile = Union[np.ndarray, LowRankTile]
+
+
+class TLRMatrix:
+    """Lower-triangular storage of a symmetric matrix in TLR format.
+
+    Tiles with ``|i - j| < band`` are dense; the rest are compressed to
+    ``U·Vᵀ``.  Only the lower triangle (i ≥ j) is stored.
+    """
+
+    def __init__(self, n: int, tile_size: int, band: int = 1):
+        if n <= 0 or tile_size <= 0:
+            raise HicmaError("matrix and tile sizes must be positive")
+        if n % tile_size != 0:
+            raise HicmaError(
+                f"matrix size {n} must be a multiple of tile size {tile_size}"
+            )
+        if band < 1:
+            raise HicmaError("band must be at least 1 (the diagonal)")
+        self.n = n
+        self.tile_size = tile_size
+        self.band = band
+        self.nt = n // tile_size
+        self._tiles: dict[tuple[int, int], Tile] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: SqExpProblem,
+        tile_size: int,
+        tol: float,
+        maxrank: Optional[int] = None,
+        band: int = 1,
+    ) -> "TLRMatrix":
+        """Compress a kernel-matrix problem into TLR form (HiCMA phase 1)."""
+        mat = cls(problem.n, tile_size, band)
+        for i in range(mat.nt):
+            for j in range(i + 1):
+                dense = problem.tile(i, j, tile_size)
+                if mat.is_dense_tile(i, j):
+                    mat.set_tile(i, j, dense)
+                else:
+                    mat.set_tile(i, j, compress_dense(dense, tol, maxrank))
+        return mat
+
+    # -- accessors -----------------------------------------------------------
+
+    def is_dense_tile(self, i: int, j: int) -> bool:
+        """True when tile (i, j) lies on the dense band."""
+        return abs(i - j) < self.band
+
+    def tile(self, i: int, j: int) -> Tile:
+        """The stored tile at (i, j), lower triangle only."""
+        if j > i:
+            raise HicmaError("TLRMatrix stores the lower triangle only")
+        try:
+            return self._tiles[(i, j)]
+        except KeyError:
+            raise HicmaError(f"tile ({i},{j}) not set") from None
+
+    def set_tile(self, i: int, j: int, tile: Tile) -> None:
+        """Store a tile, enforcing the dense-band/off-band class contract."""
+        if j > i:
+            raise HicmaError("TLRMatrix stores the lower triangle only")
+        expect_dense = self.is_dense_tile(i, j)
+        if expect_dense and not isinstance(tile, np.ndarray):
+            raise HicmaError(f"tile ({i},{j}) must be dense (band)")
+        if not expect_dense and not isinstance(tile, LowRankTile):
+            raise HicmaError(f"tile ({i},{j}) must be low-rank (off band)")
+        self._tiles[(i, j)] = tile
+
+    # -- statistics ------------------------------------------------------------
+
+    def ranks(self) -> np.ndarray:
+        """Matrix of tile ranks (0 on the dense band / upper triangle)."""
+        out = np.zeros((self.nt, self.nt), dtype=int)
+        for (i, j), tile in self._tiles.items():
+            if isinstance(tile, LowRankTile):
+                out[i, j] = tile.rank
+        return out
+
+    def mean_offband_rank(self) -> float:
+        """Average rank over the low-rank tiles."""
+        ranks = [
+            t.rank for t in self._tiles.values() if isinstance(t, LowRankTile)
+        ]
+        return float(np.mean(ranks)) if ranks else 0.0
+
+    def max_offband_rank(self) -> int:
+        """Largest rank over the low-rank tiles."""
+        ranks = [
+            t.rank for t in self._tiles.values() if isinstance(t, LowRankTile)
+        ]
+        return max(ranks) if ranks else 0
+
+    def compression_bytes(self) -> int:
+        """Bytes stored, all tiles, packed format."""
+        total = 0
+        for tile in self._tiles.values():
+            total += tile.nbytes
+        return total
+
+    # -- conversion --------------------------------------------------------------
+
+    def to_dense(self, symmetrize: bool = True) -> np.ndarray:
+        """Reassemble the full matrix (validation only)."""
+        a = np.zeros((self.n, self.n))
+        b = self.tile_size
+        for (i, j), tile in self._tiles.items():
+            block = tile if isinstance(tile, np.ndarray) else tile.to_dense()
+            a[i * b : (i + 1) * b, j * b : (j + 1) * b] = block
+            if symmetrize and i != j:
+                a[j * b : (j + 1) * b, i * b : (i + 1) * b] = block.T
+        return a
+
+    def lower_dense(self) -> np.ndarray:
+        """The lower triangle only (for factor comparison)."""
+        return np.tril(self.to_dense(symmetrize=False))

@@ -1,0 +1,34 @@
+"""A simulated Lightweight Communication Interface (LCI).
+
+Models the LCI library of the paper (§5.1): a thin, explicitly-progressed
+communication layer with three protocols —
+
+- **Immediate**: messages up to a cache line, sent inline;
+- **Buffered**: medium messages (≤ ~12 KiB) copied into pre-registered
+  packets, received into *dynamically allocated* buffers with no posted
+  receive or matching;
+- **Direct**: arbitrary-length RDMA transfers with tag matching and a
+  rendezvous (RTS/RTR) protocol.
+
+Every send is non-blocking and can fail with :data:`LCI_ERR_RETRY` when a
+resource pool (packets, direct slots) is exhausted — the library exerts
+back-pressure instead of buffering unboundedly.  All protocol processing
+happens inside :meth:`LciDevice.progress`, which the consuming runtime calls
+from wherever it wants (the PaRSEC LCI backend dedicates a progress thread
+to it, §5.3.1).  Completion is signalled through a handler function, a
+completion queue, or a synchronizer — caller's choice per operation.
+"""
+
+from repro.lci.constants import LCI_OK, LCI_ERR_RETRY
+from repro.lci.completion import CompletionQueue, Synchronizer, CompletionRecord
+from repro.lci.device import LciDevice, LciWorld
+
+__all__ = [
+    "LCI_OK",
+    "LCI_ERR_RETRY",
+    "CompletionQueue",
+    "Synchronizer",
+    "CompletionRecord",
+    "LciDevice",
+    "LciWorld",
+]

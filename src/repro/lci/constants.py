@@ -1,0 +1,5 @@
+"""LCI status codes."""
+
+LCI_OK = 0
+#: Insufficient resources; the caller must progress and retry (paper §5.1).
+LCI_ERR_RETRY = 1

@@ -1,0 +1,34 @@
+"""A simulated MPI library.
+
+Implements the MPI subset the PaRSEC MPI backend (paper §4.2) relies on, at
+protocol fidelity:
+
+- two-sided matching with posted-receive and unexpected-message queues,
+  ``MPI_ANY_SOURCE`` wildcards, FIFO (non-overtaking) matching, and the
+  ``mpi_assert_allow_overtaking`` info key;
+- eager and rendezvous (RTS/CTS) protocols with a configurable threshold;
+- non-blocking sends/receives, persistent receives (``MPI_Recv_init`` /
+  ``MPI_Start``), ``MPI_Testsome`` over request arrays, blocking
+  send/recv/wait;
+- progress that happens *only inside MPI calls* — exactly the property that
+  lets long active-message callbacks starve communication in the paper;
+- an internal library lock so concurrent calls from many simulated threads
+  serialize (the behaviour studied in §6.4.3).
+
+All calls are generators: simulated threads invoke them as
+``result = yield from rank.isend(...)`` so CPU costs are charged to the
+calling thread's simulated time.
+"""
+
+from repro.mpi.requests import Request, SendRequest, RecvRequest, PersistentRecvRequest
+from repro.mpi.world import MpiWorld, MpiRank, ANY_SOURCE
+
+__all__ = [
+    "MpiWorld",
+    "MpiRank",
+    "ANY_SOURCE",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "PersistentRecvRequest",
+]

@@ -1,0 +1,24 @@
+"""Fabric model: LogGP-style NICs on a fat-tree InfiniBand network.
+
+The physical layer of the simulation.  Communication libraries
+(:mod:`repro.mpi`, :mod:`repro.lci`) inject :class:`WireMessage`s through a
+:class:`Fabric`; the fabric models NIC serialization (with a control/data
+virtual-channel split), per-hop latency, and receiver-side ejection
+contention, then hands the message to the destination's registered handler.
+"""
+
+from repro.network.message import WireMessage, MessageClass
+from repro.network.topology import FatTreeTopology
+from repro.network.nic import NicState
+from repro.network.fabric import Fabric
+from repro.network.netpipe import netpipe_bandwidth_curve, netpipe_rtt
+
+__all__ = [
+    "WireMessage",
+    "MessageClass",
+    "FatTreeTopology",
+    "NicState",
+    "Fabric",
+    "netpipe_bandwidth_curve",
+    "netpipe_rtt",
+]

@@ -1,0 +1,113 @@
+"""The fabric: ties NICs and topology together and delivers messages.
+
+Communication libraries register one handler per (node, channel); the
+fabric calls ``handler(msg)`` at the simulated delivery time.  Loopback
+(src == dst) skips the wire entirely and is delivered after a small
+constant memory-copy latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import NetworkConfig
+from repro.errors import NetworkError
+from repro.network.message import MessageClass, WireMessage
+from repro.network.nic import NicState
+from repro.network.topology import FatTreeTopology
+from repro.sim.core import Simulator
+from repro.units import US
+
+__all__ = ["Fabric"]
+
+Handler = Callable[[WireMessage], None]
+
+
+class Fabric:
+    """A cluster interconnect connecting ``num_nodes`` nodes."""
+
+    #: Delivery latency of a loopback (shared-memory) message.
+    LOOPBACK_LATENCY = 0.4 * US
+
+    def __init__(self, sim: Simulator, num_nodes: int, cfg: Optional[NetworkConfig] = None):
+        if num_nodes <= 0:
+            raise NetworkError("fabric needs at least one node")
+        self.sim = sim
+        self.cfg = cfg or NetworkConfig()
+        self.num_nodes = num_nodes
+        self.topology = FatTreeTopology(
+            num_nodes,
+            nodes_per_leaf=self.cfg.nodes_per_leaf,
+            levels=self.cfg.fat_tree_levels,
+        )
+        self.nics = [NicState(self.cfg) for _ in range(num_nodes)]
+        self._handlers: dict[tuple[int, str], Handler] = {}
+        # Cache per (src,dst) base latency.
+        self._lat_cache: dict[tuple[int, int], float] = {}
+        #: When set, every injected message is appended here (diagnostics /
+        #: protocol-walkthrough tests).  Off by default: it retains every
+        #: WireMessage for the run's lifetime.
+        self.message_log: Optional[list[WireMessage]] = None
+
+    def enable_message_log(self) -> list[WireMessage]:
+        """Start recording every injected message; returns the log list."""
+        if self.message_log is None:
+            self.message_log = []
+        return self.message_log
+
+    def register_handler(self, node: int, channel: str, handler: Handler) -> None:
+        """Install the delivery handler for (node, channel)."""
+        self._check_node(node)
+        key = (node, channel)
+        if key in self._handlers:
+            raise NetworkError(f"handler already registered for {key}")
+        self._handlers[key] = handler
+
+    def base_latency(self, src: int, dst: int) -> float:
+        """Zero-load wire latency between two nodes."""
+        key = (src, dst)
+        lat = self._lat_cache.get(key)
+        if lat is None:
+            lat = self.cfg.latency(self.topology.hops(src, dst))
+            self._lat_cache[key] = lat
+        return lat
+
+    def send(self, msg: WireMessage) -> float:
+        """Inject ``msg``; returns the scheduled delivery time.
+
+        The send itself is instantaneous for the caller — CPU injection
+        overheads are charged by the *library* models, not the fabric.
+        """
+        self._check_node(msg.src)
+        self._check_node(msg.dst)
+        handler = self._handlers.get((msg.dst, msg.channel))
+        if handler is None:
+            raise NetworkError(
+                f"no handler for channel {msg.channel!r} at node {msg.dst}"
+            )
+        now = self.sim.now
+        msg.inject_time = now
+        if self.message_log is not None:
+            self.message_log.append(msg)
+        if msg.src == msg.dst:
+            depart = now
+            deliver = now + self.LOOPBACK_LATENCY
+        else:
+            depart = self.nics[msg.src].inject(now, msg.size, msg.msg_class)
+            arrival = depart + self.base_latency(msg.src, msg.dst)
+            deliver = self.nics[msg.dst].eject(now, arrival, msg.size, msg.msg_class)
+        msg.depart_time = depart
+        msg.deliver_time = deliver
+        self.sim.call_later(deliver - now, self._deliver, handler, msg)
+        return deliver
+
+    def _deliver(self, handler: Handler, msg: WireMessage) -> None:
+        handler(msg)
+
+    def total_bytes(self) -> int:
+        """Total bytes injected into the fabric (diagnostic)."""
+        return sum(nic.tx_bytes for nic in self.nics)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise NetworkError(f"node {node} out of range [0, {self.num_nodes})")

@@ -1,0 +1,75 @@
+"""NetPIPE-style raw ping-pong baseline (Fig. 2a's reference curve).
+
+NetPIPE measures ping-pong bandwidth directly over the network stack with no
+runtime on top.  We reproduce it by running an actual ping-pong of single
+messages over the :class:`~repro.network.fabric.Fabric` with a minimal fixed
+software overhead per message (the cost of a bare verbs post + poll).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.network.message import MessageClass, WireMessage
+from repro.sim.core import Simulator
+from repro.units import US
+
+__all__ = ["netpipe_rtt", "netpipe_bandwidth_curve", "NETPIPE_SW_OVERHEAD"]
+
+#: Per-message software overhead of the bare benchmark loop (post + poll).
+NETPIPE_SW_OVERHEAD = 0.35 * US
+
+
+def netpipe_rtt(
+    size: int,
+    cfg: Optional[NetworkConfig] = None,
+    repeats: int = 8,
+) -> float:
+    """Measured mean round-trip time for one ping-pong of ``size`` bytes.
+
+    Runs a real simulated ping-pong (two nodes, alternating sends) rather
+    than evaluating a formula, so NIC bookkeeping is exercised the same way
+    the full stack exercises it.
+    """
+    sim = Simulator()
+    fabric = Fabric(sim, 2, cfg)
+    rtts: list[float] = []
+
+    state = {"t0": 0.0, "bounces": 0}
+
+    def bounce(msg: WireMessage) -> None:
+        # Software overhead before the reflected send.
+        sim.call_later(NETPIPE_SW_OVERHEAD, _reflect, msg.dst, msg.src)
+
+    def _reflect(me: int, peer: int) -> None:
+        state["bounces"] += 1
+        if me == 0:
+            rtts.append(sim.now - state["t0"])
+            if state["bounces"] >= 2 * repeats:
+                return
+            state["t0"] = sim.now
+        fabric.send(
+            WireMessage(src=me, dst=peer, size=size, msg_class=MessageClass.DATA, channel="np")
+        )
+
+    fabric.register_handler(0, "np", bounce)
+    fabric.register_handler(1, "np", bounce)
+    state["t0"] = 0.0
+    fabric.send(WireMessage(src=0, dst=1, size=size, msg_class=MessageClass.DATA, channel="np"))
+    sim.run()
+    return sum(rtts) / len(rtts)
+
+
+def netpipe_bandwidth_curve(
+    sizes: Sequence[int],
+    cfg: Optional[NetworkConfig] = None,
+) -> list[tuple[int, float]]:
+    """(size, bandwidth bytes/s) for each size, NetPIPE convention
+    (bandwidth = size / one-way time, one-way = RTT/2)."""
+    out = []
+    for size in sizes:
+        rtt = netpipe_rtt(size, cfg)
+        out.append((size, size / (rtt / 2.0)))
+    return out

@@ -1,0 +1,91 @@
+"""Per-node NIC serialization model.
+
+Bookkeeping-only (no processes): each direction of the NIC keeps a
+``busy_until`` clock per virtual channel.  A message charges its
+serialization time ``max(size/bandwidth, gap)`` on its channel.
+
+Control/data interaction approximates InfiniBand packet-level QP
+arbitration without per-packet events:
+
+- a DATA message queues FIFO behind other data: it departs at
+  ``max(now, data_busy) + ser``;
+- a CONTROL message does *not* wait for in-flight data — it departs at
+  ``max(now, ctrl_busy) + ser`` and *steals* its serialization time from the
+  data channel by pushing ``data_busy`` back by ``ser`` (bandwidth is
+  conserved, control latency stays flat).
+
+The receive side mirrors this to model ejection contention (incast): a
+message from a single sender never waits (the sender already paced it), but
+simultaneous arrivals from several senders drain at line rate.
+"""
+
+from __future__ import annotations
+
+from repro.config import NetworkConfig
+from repro.network.message import MessageClass
+
+__all__ = ["NicState"]
+
+
+class NicState:
+    """Injection/ejection bookkeeping for one node's NIC."""
+
+    __slots__ = (
+        "cfg",
+        "tx_data_busy",
+        "tx_ctrl_busy",
+        "rx_data_busy",
+        "rx_ctrl_busy",
+        "tx_bytes",
+        "rx_bytes",
+        "tx_msgs",
+        "rx_msgs",
+    )
+
+    def __init__(self, cfg: NetworkConfig):
+        self.cfg = cfg
+        self.tx_data_busy = 0.0
+        self.tx_ctrl_busy = 0.0
+        self.rx_data_busy = 0.0
+        self.rx_ctrl_busy = 0.0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.tx_msgs = 0
+        self.rx_msgs = 0
+
+    def serialization(self, size: int) -> float:
+        """Time the wire is occupied by a message of ``size`` bytes."""
+        return max(size / self.cfg.bandwidth, self.cfg.message_gap)
+
+    def inject(self, now: float, size: int, msg_class: MessageClass) -> float:
+        """Charge a transmit; returns the time the tail leaves the NIC."""
+        ser = self.serialization(size)
+        if msg_class == MessageClass.CONTROL:
+            depart = max(now, self.tx_ctrl_busy) + ser
+            self.tx_ctrl_busy = depart
+            # Steal the bandwidth from the data channel.
+            self.tx_data_busy = max(self.tx_data_busy, now) + ser
+        else:
+            depart = max(now, self.tx_data_busy, self.tx_ctrl_busy - ser) + ser
+            self.tx_data_busy = depart
+        self.tx_bytes += size
+        self.tx_msgs += 1
+        return depart
+
+    def eject(self, now: float, arrival: float, size: int, msg_class: MessageClass) -> float:
+        """Charge a receive; returns the delivery time at the destination.
+
+        ``arrival`` is when the message tail would reach the NIC with no
+        receiver contention; delivery can only be later.
+        """
+        ser = self.serialization(size)
+        if msg_class == MessageClass.CONTROL:
+            deliver = max(arrival, self.rx_ctrl_busy + ser)
+            self.rx_ctrl_busy = deliver
+            self.rx_data_busy = max(self.rx_data_busy, arrival - ser) + ser
+        else:
+            deliver = max(arrival, self.rx_data_busy + ser)
+            self.rx_data_busy = deliver
+        self.rx_bytes += size
+        self.rx_msgs += 1
+        return deliver

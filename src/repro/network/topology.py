@@ -1,0 +1,49 @@
+"""Fat-tree topology: node→node hop counts.
+
+Expanse uses a hybrid fat-tree (Table 1).  For latency purposes only the hop
+count matters in our model: two nodes under the same leaf switch are 2 hops
+apart (node→leaf→node); nodes under different leaves cross the spine level
+(node→leaf→spine→leaf→node = 4 hops).  Deeper trees add 2 hops per extra
+level crossed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+
+__all__ = ["FatTreeTopology"]
+
+
+class FatTreeTopology:
+    """Hop-count model of a fat tree with a fixed arity per level."""
+
+    def __init__(self, num_nodes: int, nodes_per_leaf: int = 16, levels: int = 2):
+        if num_nodes <= 0:
+            raise NetworkError("topology needs at least one node")
+        if nodes_per_leaf <= 0:
+            raise NetworkError("nodes_per_leaf must be positive")
+        if levels < 1:
+            raise NetworkError("fat tree needs at least one level")
+        self.num_nodes = num_nodes
+        self.nodes_per_leaf = nodes_per_leaf
+        self.levels = levels
+
+    def leaf_of(self, node: int) -> int:
+        """Leaf-switch index of a node."""
+        self._check(node)
+        return node // self.nodes_per_leaf
+
+    def hops(self, src: int, dst: int) -> int:
+        """Switch hops on the src→dst path (0 for loopback)."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        if self.leaf_of(src) == self.leaf_of(dst):
+            return 2
+        # Crossing the spine: 2 (up+down at leaf level) + 2 per spine level.
+        return 2 + 2 * (self.levels - 1)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise NetworkError(f"node {node} out of range [0, {self.num_nodes})")

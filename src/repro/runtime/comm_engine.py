@@ -1,0 +1,138 @@
+"""The PaRSEC communication-engine API (paper Listing 1).
+
+The runtime talks to its communication backend exclusively through this
+interface; the MPI and LCI backends implement it with completely different
+mechanisms (§4.2 vs. §5.3) while the runtime core stays unchanged — which
+is exactly the property the paper's evaluation relies on ("Since the PaRSEC
+runtime core is unchanged, the task management overhead must be identical,
+so differences in performance must be due to communication management").
+
+Active-message callbacks are **generator functions**::
+
+    def cb(engine, tag, msg, size, src, cb_data):
+        yield engine.sim.timeout(...)   # CPU work
+        ...
+
+invoked (``yield from``) by the backend on whichever simulated thread runs
+its progress path.  One-sided completion callbacks have the same shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import RuntimeBackendError
+from repro.sim.core import Event, Simulator
+
+__all__ = [
+    "CommEngine",
+    "AmCallback",
+    "OnesidedCallback",
+    "TAG_ACTIVATE",
+    "TAG_GETDATA",
+    "TAG_PUT_COMPLETE",
+]
+
+#: The two active messages PaRSEC registers at startup (§4.1) plus the tag
+#: used to dispatch remote put-completion callbacks.
+TAG_ACTIVATE = 1
+TAG_GETDATA = 2
+TAG_PUT_COMPLETE = 3
+
+AmCallback = Callable[..., Generator]
+OnesidedCallback = Callable[..., Generator]
+
+_put_tags = itertools.count(1000)
+
+
+def next_data_tag() -> int:
+    """A fresh wire tag for one put's data transfer.  Unique per origin while
+    in flight (the (origin, tag) tuple disambiguates at the target, §5.3.3)."""
+    return next(_put_tags)
+
+
+class CommEngine:
+    """Abstract communication engine (Listing 1)."""
+
+    def __init__(self, sim: Simulator, node: int):
+        self.sim = sim
+        self.node = node
+        self._am_tags: dict[int, tuple[AmCallback, Any]] = {}
+        #: Counters exposed for benchmarks/tests.
+        self.stats = {
+            "am_sent": 0,
+            "am_recv": 0,
+            "puts_started": 0,
+            "puts_completed": 0,
+            "bytes_put": 0,
+        }
+
+    # -- registration (tag_reg / mem_reg of Listing 1) --------------------
+
+    def tag_reg(self, tag: int, cb: AmCallback, cb_data: Any = None, max_len: int = 1 << 20) -> None:
+        """Register an active-message callback for ``tag``."""
+        if tag in self._am_tags:
+            raise RuntimeBackendError(f"AM tag {tag} registered twice")
+        self._am_tags[tag] = (cb, cb_data)
+        self._tag_reg_backend(tag, max_len)
+
+    def mem_reg(self, size: int) -> int:
+        """Register a memory region; returns an opaque handle.
+
+        Registration cost is folded into the backends' per-transfer costs
+        (both real backends cache registrations), so this is bookkeeping.
+        """
+        return size
+
+    # -- backend interface -------------------------------------------------
+
+    def _tag_reg_backend(self, tag: int, max_len: int) -> None:
+        raise NotImplementedError
+
+    def start(self) -> Generator:
+        """One-time initialisation run on the communication thread."""
+        raise NotImplementedError
+
+    def send_am(self, tag: int, remote: int, data: Any, size: int) -> Generator:
+        """Send an active message (blocking-ish: returns when injected)."""
+        raise NotImplementedError
+
+    def put(
+        self,
+        data: Any,
+        size: int,
+        remote: int,
+        l_cb: Optional[OnesidedCallback],
+        r_cb_data: Any,
+        l_cb_data: Any = None,
+    ) -> Generator:
+        """Start (or defer) a one-sided put of ``size`` bytes to ``remote``.
+
+        The remote side's TAG_PUT_COMPLETE callback runs with ``r_cb_data``
+        and the payload when the data has arrived; ``l_cb`` runs locally
+        when the source buffer is reusable.
+        """
+        raise NotImplementedError
+
+    def progress(self) -> Generator[Any, Any, int]:
+        """Poll for completed communications, running their callbacks;
+        returns the number processed (0 ⇒ nothing to do)."""
+        raise NotImplementedError
+
+    def activity_event(self) -> Event:
+        """Event that fires when the engine (may) have work to progress."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _am_entry(self, tag: int) -> tuple[AmCallback, Any]:
+        entry = self._am_tags.get(tag)
+        if entry is None:
+            raise RuntimeBackendError(f"node {self.node}: unregistered AM tag {tag}")
+        return entry
+
+    def _run_am_callback(self, tag: int, msg: Any, size: int, src: int) -> Generator:
+        cb, cb_data = self._am_entry(tag)
+        self.stats["am_recv"] += 1
+        yield from cb(self, tag, msg, size, src, cb_data)

@@ -1,0 +1,418 @@
+"""Per-node runtime: workers, scheduler, and the communication thread.
+
+Implements the execution semantics of §4.1/§4.3 and Fig. 1:
+
+- worker threads pop ready tasks from a priority scheduler and execute them;
+- on completion, each output dataflow is released: local consumers are
+  satisfied directly; remote consumer nodes are organised into a binomial
+  **multicast tree** and ACTIVATE messages are sent to the tree children
+  (by the communication thread, aggregated per destination — or directly by
+  the worker when communication multithreading is enabled, §6.4.3);
+- an ACTIVATE callback evaluates successor priorities and enqueues GET DATA
+  requests, which the comm thread sends in priority order (deferred
+  GET DATA queue, §4.3);
+- a GET DATA callback starts a put of the flow's data back to the
+  requester (the backend may defer it);
+- when put data arrives, the flow becomes available: local consumers'
+  dependence counts drop, newly ready tasks enter the scheduler, and the
+  ACTIVATE/GET/put cascade continues down the multicast tree.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import RuntimeBackendError
+from repro.runtime.comm_engine import TAG_ACTIVATE, TAG_GETDATA, TAG_PUT_COMPLETE
+from repro.runtime.scheduler import make_scheduler
+from repro.runtime.taskpool import TaskGraph, TaskSpec
+from repro.sim.core import Interrupt
+from repro.sim.primitives import NotifyQueue, PriorityStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import ParsecContext
+
+__all__ = ["NodeRuntime", "binomial_tree"]
+
+
+def binomial_tree(nodes: list[int]) -> tuple:
+    """Binomial broadcast tree over ``nodes`` (``nodes[0]`` is the root).
+
+    Returns a nested spec ``(node, (child_spec, ...))``.  A binomial tree
+    completes a broadcast in ⌈log₂ n⌉ rounds, which is what PaRSEC's
+    dataflow multicast uses.
+    """
+    if not nodes:
+        raise RuntimeBackendError("empty multicast tree")
+
+    def subtree(lo: int, hi: int) -> tuple:
+        children = []
+        span = 1
+        while lo + span < hi:
+            children.append(subtree(lo + span, min(lo + 2 * span, hi)))
+            span *= 2
+        return (nodes[lo], tuple(children))
+
+    return subtree(0, len(nodes))
+
+
+class _FlowState:
+    """Remote-flow bookkeeping at one node (created on ACTIVATE receipt)."""
+
+    __slots__ = ("size", "holder", "priority", "subtree", "root_t", "hop_t", "root")
+
+    def __init__(self, size, holder, priority, subtree, root_t, hop_t, root):
+        self.size = size
+        self.holder = holder
+        self.priority = priority
+        self.subtree = subtree
+        self.root_t = root_t
+        self.hop_t = hop_t
+        self.root = root
+
+
+class NodeRuntime:
+    """One node of the simulated AMT runtime."""
+
+    def __init__(self, ctx: "ParsecContext", rank: int):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.rank = rank
+        self.rt = ctx.platform.runtime
+        self.engine = ctx.engines[rank]
+        self.sched = None  # created in load() once the worker count is known
+        #: Commands from workers to the comm thread: ("activate", dst, ad).
+        self.cmd_q = NotifyQueue(self.sim)
+        #: Deferred GET DATA queue, highest priority first (§4.3 duty 3).
+        self.getdata_q = PriorityStore(self.sim)
+        # Dataflow state.
+        self.flow_available: set[int] = set()
+        self.flow_states: dict[int, _FlowState] = {}
+        self.input_remaining: dict[int, int] = {}
+        self.serves_remaining: dict[int, int] = {}
+        self.cleanups_done = 0
+        self.tasks_executed = 0
+        self.busy_time = 0.0
+        self._workers: list = []
+        self._threads: list = []
+        # Register the runtime's active messages (§4.1) + put completion.
+        self.engine.tag_reg(TAG_ACTIVATE, self._activate_cb, max_len=self.engine.am_payload_max())
+        self.engine.tag_reg(TAG_GETDATA, self._getdata_cb, max_len=4096)
+        self.engine.tag_reg(TAG_PUT_COMPLETE, self._put_complete_cb, max_len=4096)
+
+    # ------------------------------------------------------------------
+    # graph loading
+    # ------------------------------------------------------------------
+
+    def load(self, graph: TaskGraph, num_workers: int) -> None:
+        """Bind a task graph: build the scheduler, seed source tasks."""
+        self.graph = graph
+        self.sched = make_scheduler(
+            getattr(self.ctx, "scheduler", "central"), self.sim, num_workers
+        )
+        for task in graph.tasks.values():
+            if task.node != self.rank:
+                continue
+            self.input_remaining[task.task_id] = len(task.inputs)
+            if not task.inputs:
+                self.sched.push(-task.priority, task)
+
+    # ------------------------------------------------------------------
+    # threads
+    # ------------------------------------------------------------------
+
+    def start_threads(self, num_workers: int) -> None:
+        """Spawn worker, communication, and (LCI) progress threads."""
+        for wid in range(num_workers):
+            self._workers.append(
+                self.sim.process(self._worker(wid), name=f"n{self.rank}w{wid}")
+            )
+        # §7 future work: "multiple communication or progress threads to
+        # further reduce communication latency in highly-loaded scenarios".
+        # Only the first comm thread runs the one-time engine start.
+        for ci in range(getattr(self.ctx, "num_comm_threads", 1)):
+            self._threads.append(
+                self.sim.process(
+                    self._comm_thread(run_start=ci == 0),
+                    name=f"n{self.rank}comm{ci}",
+                )
+            )
+        if self.ctx.has_progress_thread:
+            for pi in range(getattr(self.ctx, "num_progress_threads", 1)):
+                self._threads.append(
+                    self.sim.process(
+                        self._progress_thread(), name=f"n{self.rank}prog{pi}"
+                    )
+                )
+
+    def stop_threads(self) -> None:
+        """Interrupt every thread (end of run)."""
+        for proc in self._workers + self._threads:
+            proc.interrupt("shutdown")
+
+    # ------------------------------------------------------------------
+    # worker threads
+    # ------------------------------------------------------------------
+
+    def _worker(self, wid: int) -> Generator:
+        rt = self.rt
+        trace = self.ctx.trace
+        try:
+            while True:
+                task: TaskSpec = yield from self.sched.pop(wid)
+                start = self.sim.now
+                yield self.sim.timeout(rt.sched_op + rt.task_spawn)
+                if task.duration > 0:
+                    yield self.sim.timeout(task.duration)
+                self.busy_time += self.sim.now - start
+                if trace is not None:
+                    trace.record(
+                        start,
+                        "task_exec",
+                        self.rank,
+                        key=(self.rank, wid),
+                        info=(task.kind, self.sim.now - start),
+                    )
+                yield from self._complete_task(task, wid)
+        except Interrupt:
+            return
+
+    def _complete_task(self, task: TaskSpec, wid: Optional[int] = None) -> Generator:
+        self.tasks_executed += 1
+        self.ctx.on_task_done(task)
+        for fid in task.outputs:
+            yield self.sim.timeout(self.rt.sched_op)
+            yield from self._release_flow(fid, initial=True, origin=wid)
+
+    def _release_flow(
+        self, fid: int, initial: bool, origin: Optional[int] = None
+    ) -> Generator:
+        """Data for ``fid`` is now available here: satisfy local consumers
+        and activate the multicast subtree."""
+        graph = self.graph
+        flow = graph.flows[fid]
+        self.flow_available.add(fid)
+        # Local consumers (released to the originating worker's queue when
+        # the work-stealing scheduler is active — data affinity).
+        for tid in flow.consumers:
+            consumer = graph.tasks[tid]
+            if consumer.node == self.rank:
+                self._satisfy_input(consumer, origin)
+        if initial:
+            # Producer: build the multicast tree over remote consumer nodes.
+            remote = sorted(n for n in graph.consumer_nodes(flow) if n != self.rank)
+            if not remote:
+                return
+            tree = binomial_tree([self.rank] + remote)
+            children = tree[1]
+            state = None
+        else:
+            state = self.flow_states.get(fid)
+            children = state.subtree[1] if state is not None else ()
+        if not children:
+            return
+        self.serves_remaining[fid] = len(children)
+        prio = max(
+            (graph.tasks[tid].priority for tid in flow.consumers), default=0.0
+        )
+        for child in children:
+            # Latency stamps are taken when the activation is handed to the
+            # communication layer ("send of the ACTIVATE message following
+            # task completion", §6.4.2) — comm-thread queueing and
+            # aggregation delay count toward the measured latency, which is
+            # exactly what multithreaded ACTIVATE sending eliminates.
+            now = self.sim.now
+            ad = {
+                "flow": fid,
+                "size": flow.size,
+                "holder": self.rank,
+                "sub": child,
+                "prio": prio,
+                "root": state.root if state is not None else self.rank,
+                "root_t": state.root_t if state is not None else now,
+                "hop_t": now,
+            }
+            if self.ctx.trace is not None:
+                self.ctx.trace.record(
+                    now, "activate_handoff", self.rank, key=(fid, child[0])
+                )
+            yield from self._emit_activate(child[0], ad)
+
+    def _emit_activate(self, dst: int, ad: dict) -> Generator:
+        if self.ctx.multithreaded_activate:
+            # Workers send their own ACTIVATEs (§6.4.3): no aggregation,
+            # possible library contention, but no comm-thread queueing delay.
+            yield self.sim.timeout(self.rt.activate_pack_per_flow)
+            size = 64 + self.rt.activate_bytes_per_flow
+            yield from self.engine.send_am(TAG_ACTIVATE, dst, [ad], size)
+            self.ctx.stats_activates += 1
+        else:
+            self.cmd_q.push(("activate", dst, ad))
+
+    def _satisfy_input(self, consumer: TaskSpec, origin: Optional[int] = None) -> None:
+        remaining = self.input_remaining[consumer.task_id] - 1
+        self.input_remaining[consumer.task_id] = remaining
+        if remaining == 0:
+            self.sched.push(-consumer.priority, consumer, origin)
+        elif remaining < 0:
+            raise RuntimeBackendError(
+                f"task {consumer.task_id}: dependence count went negative"
+            )
+
+    # ------------------------------------------------------------------
+    # communication thread (§4.3)
+    # ------------------------------------------------------------------
+
+    def _comm_thread(self, run_start: bool = True) -> Generator:
+        engine = self.engine
+        rt = self.rt
+        max_batch = max(
+            1, (engine.am_payload_max() - 64) // rt.activate_bytes_per_flow
+        )
+        try:
+            if run_start:
+                yield from engine.start()
+            while True:
+                worked = 0
+                # (1) Aggregate ACTIVATE commands per destination.
+                by_dst: dict[int, list[dict]] = {}
+                while True:
+                    ok, cmd = self.cmd_q.try_pop()
+                    if not ok:
+                        break
+                    _kind, dst, ad = cmd
+                    by_dst.setdefault(dst, []).append(ad)
+                for dst, ads in by_dst.items():
+                    for i in range(0, len(ads), max_batch):
+                        batch = ads[i : i + max_batch]
+                        yield self.sim.timeout(
+                            rt.activate_pack_per_flow * len(batch)
+                        )
+                        size = 64 + rt.activate_bytes_per_flow * len(batch)
+                        yield from engine.send_am(TAG_ACTIVATE, dst, batch, size)
+                        self.ctx.stats_activates += 1
+                        if len(batch) > 1:
+                            self.ctx.stats_aggregated += len(batch) - 1
+                        worked += 1
+                # (2) Poll the engine progress function.
+                worked += yield from engine.progress()
+                # (3) Send deferred GET DATA messages in priority order.
+                while True:
+                    ok, item = self.getdata_q.try_get()
+                    if not ok:
+                        break
+                    fid, holder = item
+                    yield from engine.send_am(
+                        TAG_GETDATA,
+                        holder,
+                        {"flow": fid},
+                        self.rt.getdata_bytes,
+                    )
+                    worked += 1
+                # (4) Deferred puts are promoted inside engine.progress().
+                if worked == 0:
+                    yield self.sim.any_of(
+                        [
+                            self.cmd_q.event(),
+                            engine.activity_event(),
+                            self.ctx.stop_event,
+                        ]
+                    )
+                    if self.ctx.stopped:
+                        return
+        except Interrupt:
+            return
+
+    def _progress_thread(self) -> Generator:
+        """LCI progress thread (§5.3.1): drives LCI_progress exclusively."""
+        device = self.engine.device
+        try:
+            while True:
+                n = yield from device.progress()
+                if n == 0:
+                    yield self.sim.any_of(
+                        [device.activity_event(), self.ctx.stop_event]
+                    )
+                    if self.ctx.stopped:
+                        return
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    # active-message callbacks (run on the comm thread via the engine)
+    # ------------------------------------------------------------------
+
+    def _activate_cb(self, engine, tag, msg, size, src, cb_data) -> Generator:
+        """Unpack aggregated activations, walk local descendants, enqueue
+        GET DATA requests (the "long callback" of §4.3)."""
+        for ad in msg:
+            yield self.sim.timeout(self.rt.activate_unpack_per_flow)
+            fid = ad["flow"]
+            if self.ctx.trace is not None:
+                self.ctx.trace.record(
+                    self.sim.now, "activate_cb", self.rank, key=(fid, self.rank)
+                )
+            state = _FlowState(
+                ad["size"], ad["holder"], ad["prio"], ad["sub"],
+                ad["root_t"], ad["hop_t"], ad["root"],
+            )
+            self.flow_states[fid] = state
+            # Priority decides when the GET DATA goes out (§4.1); the comm
+            # thread drains this queue highest-priority-first.
+            self.getdata_q.try_put((-state.priority, (fid, state.holder)))
+        self.ctx.stats_activate_flows += len(msg)
+
+    def _getdata_cb(self, engine, tag, msg, size, src, cb_data) -> Generator:
+        """Serve a GET DATA: put the flow's data back to the requester."""
+        yield self.sim.timeout(self.rt.getdata_handle)
+        fid = msg["flow"]
+        if self.ctx.trace is not None:
+            self.ctx.trace.record(
+                self.sim.now, "getdata_cb", self.rank, key=(fid, src)
+            )
+        if fid not in self.flow_available:
+            raise RuntimeBackendError(
+                f"node {self.rank}: GET DATA for flow {fid} before data ready"
+            )
+        flow = self.graph.flows[fid]
+        yield from engine.put(
+            data=("flowdata", fid),
+            size=flow.size,
+            remote=src,
+            l_cb=self._put_local_cb,
+            r_cb_data={"flow": fid},
+            l_cb_data=fid,
+        )
+
+    def _put_local_cb(self, engine, fid) -> Generator:
+        """Origin-side put completion: cleanup bookkeeping (Fig. 1)."""
+        remaining = self.serves_remaining.get(fid)
+        if remaining is not None:
+            remaining -= 1
+            if remaining == 0:
+                del self.serves_remaining[fid]
+                self.cleanups_done += 1
+            else:
+                self.serves_remaining[fid] = remaining
+        return
+        yield  # pragma: no cover - generator shape
+
+    def _put_complete_cb(self, engine, tag, msg, size, src, cb_data) -> Generator:
+        """Target-side put completion: data arrived for a flow."""
+        yield self.sim.timeout(self.rt.callback_exec)
+        fid = msg["r_cb_data"]["flow"]
+        state = self.flow_states.get(fid)
+        if state is None:
+            raise RuntimeBackendError(
+                f"node {self.rank}: put completion for unknown flow {fid}"
+            )
+        now = self.sim.now
+        if self.ctx.trace is not None:
+            self.ctx.trace.record(
+                now, "data_arrival", self.rank, key=(fid, self.rank)
+            )
+        if state.root_t is not None:
+            self.ctx.record_flow_latency(fid, self.rank, state.root, now - state.root_t)
+        if state.hop_t is not None:
+            self.ctx.record_msg_latency(now - state.hop_t)
+        yield from self._release_flow(fid, initial=False)

@@ -1,0 +1,188 @@
+"""Distributed task graphs: tasks, dataflows, and validation.
+
+A :class:`TaskGraph` is the static description of a computation the runtime
+executes (PaRSEC would generate it from a parameterized task graph; our
+workload generators build it explicitly):
+
+- a :class:`TaskSpec` runs on a fixed node for ``duration`` simulated
+  seconds once every input flow's data is available on that node;
+- a :class:`FlowSpec` is one output datum of a task, consumed by zero or
+  more other tasks; consumers on other nodes receive it through the
+  ACTIVATE / GET DATA / put protocol of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import RuntimeBackendError
+
+__all__ = ["FlowSpec", "TaskSpec", "TaskGraph"]
+
+
+class FlowSpec:
+    """One dataflow: ``size`` bytes produced by ``producer``, consumed by
+    the tasks in ``consumers``."""
+
+    __slots__ = ("flow_id", "size", "producer", "consumers")
+
+    def __init__(self, flow_id: int, size: int, producer: int, consumers: tuple[int, ...]):
+        if size < 0:
+            raise RuntimeBackendError(f"flow {flow_id}: negative size")
+        self.flow_id = flow_id
+        self.size = size
+        self.producer = producer
+        self.consumers = consumers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flow({self.flow_id}, {self.size}B, {self.producer}->{list(self.consumers)})"
+
+
+class TaskSpec:
+    """One task: node placement, compute duration, priority, dataflows."""
+
+    __slots__ = ("task_id", "node", "duration", "priority", "inputs", "outputs", "kind")
+
+    def __init__(
+        self,
+        task_id: int,
+        node: int,
+        duration: float,
+        priority: float = 0.0,
+        inputs: tuple[int, ...] = (),
+        outputs: tuple[int, ...] = (),
+        kind: str = "task",
+    ):
+        if duration < 0:
+            raise RuntimeBackendError(f"task {task_id}: negative duration")
+        self.task_id = task_id
+        self.node = node
+        self.duration = duration
+        self.priority = priority
+        self.inputs = inputs  # flow ids this task consumes
+        self.outputs = outputs  # flow ids this task produces
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.task_id} {self.kind}@{self.node})"
+
+
+class TaskGraph:
+    """A complete task graph.
+
+    Build with :meth:`add_task` / :meth:`add_flow` (ids are assigned
+    automatically), then :meth:`validate` before execution.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: dict[int, TaskSpec] = {}
+        self.flows: dict[int, FlowSpec] = {}
+        self._next_task = 0
+        self._next_flow = 0
+
+    # -- construction ----------------------------------------------------
+
+    def add_task(
+        self,
+        node: int,
+        duration: float,
+        priority: float = 0.0,
+        inputs: Iterable[int] = (),
+        kind: str = "task",
+    ) -> int:
+        """Add a task; returns its id.  ``inputs`` are existing flow ids;
+        consumer lists of those flows are updated automatically."""
+        tid = self._next_task
+        self._next_task += 1
+        inputs = tuple(inputs)
+        self.tasks[tid] = TaskSpec(tid, node, duration, priority, inputs, (), kind)
+        for fid in inputs:
+            flow = self.flows.get(fid)
+            if flow is None:
+                raise RuntimeBackendError(f"task {tid}: unknown input flow {fid}")
+            flow.consumers = flow.consumers + (tid,)
+        return tid
+
+    def add_flow(self, producer: int, size: int) -> int:
+        """Add an output flow to task ``producer``; returns the flow id."""
+        task = self.tasks.get(producer)
+        if task is None:
+            raise RuntimeBackendError(f"flow producer task {producer} unknown")
+        fid = self._next_flow
+        self._next_flow += 1
+        self.flows[fid] = FlowSpec(fid, size, producer, ())
+        task.outputs = task.outputs + (fid,)
+        return fid
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks in the graph."""
+        return len(self.tasks)
+
+    @property
+    def num_flows(self) -> int:
+        """Number of dataflows in the graph."""
+        return len(self.flows)
+
+    def nodes_used(self) -> set[int]:
+        """Set of node ids any task is placed on."""
+        return {t.node for t in self.tasks.values()}
+
+    def source_tasks(self) -> list[int]:
+        """Tasks with no inputs — initially ready."""
+        return [t.task_id for t in self.tasks.values() if not t.inputs]
+
+    def consumer_nodes(self, flow: FlowSpec) -> set[int]:
+        """Nodes on which this flow's consumers run."""
+        return {self.tasks[tid].node for tid in flow.consumers}
+
+    def total_remote_bytes(self) -> int:
+        """Bytes that must cross the network at least once (one copy per
+        remote consumer node, ignoring multicast-tree forwarding)."""
+        total = 0
+        for flow in self.flows.values():
+            src = self.tasks[flow.producer].node
+            remote = {n for n in self.consumer_nodes(flow) if n != src}
+            total += flow.size * len(remote)
+        return total
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self, num_nodes: Optional[int] = None) -> None:
+        """Check structural invariants; raises RuntimeBackendError."""
+        if not self.tasks:
+            raise RuntimeBackendError("empty task graph")
+        for task in self.tasks.values():
+            if num_nodes is not None and not 0 <= task.node < num_nodes:
+                raise RuntimeBackendError(
+                    f"task {task.task_id} placed on node {task.node} "
+                    f"outside [0, {num_nodes})"
+                )
+            for fid in task.inputs:
+                if fid not in self.flows:
+                    raise RuntimeBackendError(
+                        f"task {task.task_id}: missing input flow {fid}"
+                    )
+        if not self.source_tasks():
+            raise RuntimeBackendError("task graph has no source tasks (cycle?)")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Kahn's algorithm over the task-dependency relation."""
+        indeg = {tid: len(t.inputs) for tid, t in self.tasks.items()}
+        ready = [tid for tid, d in indeg.items() if d == 0]
+        seen = 0
+        while ready:
+            tid = ready.pop()
+            seen += 1
+            for fid in self.tasks[tid].outputs:
+                for consumer in self.flows[fid].consumers:
+                    indeg[consumer] -= 1
+                    if indeg[consumer] == 0:
+                        ready.append(consumer)
+        if seen != len(self.tasks):
+            raise RuntimeBackendError(
+                f"task graph has a cycle ({len(self.tasks) - seen} tasks unreachable)"
+            )

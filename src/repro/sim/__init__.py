@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal-but-complete simpy-style kernel: a :class:`Simulator` drives a heap
+of timestamped events; generator coroutines (:class:`Process`) yield
+*waitables* (timeouts, one-shot :class:`Event` completions, store gets, ...)
+and are resumed when those complete.  Tie-breaking is by schedule order, so
+every run is bit-for-bit reproducible.
+"""
+
+from repro.sim.core import Simulator, Event, Timeout, Process, Interrupt, AllOf, AnyOf
+from repro.sim.primitives import (
+    Store,
+    PriorityStore,
+    Resource,
+    Semaphore,
+    Latch,
+    NotifyQueue,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.clock import NodeClock, ClockEnsemble, hunold_synchronize
+from repro.sim.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "PriorityStore",
+    "Resource",
+    "Semaphore",
+    "Latch",
+    "NotifyQueue",
+    "RngStreams",
+    "NodeClock",
+    "ClockEnsemble",
+    "hunold_synchronize",
+    "TraceRecorder",
+    "TraceEvent",
+]

@@ -1,0 +1,356 @@
+"""The discrete-event simulation core.
+
+Design notes
+------------
+The kernel is a classic event-heap design tuned for the millions of events a
+single HiCMA run generates:
+
+- the heap holds ``(time, seq, event)`` tuples — ``seq`` is a monotonically
+  increasing counter so simultaneous events fire in schedule order and runs
+  are deterministic;
+- :class:`Event` is a one-shot completion: callbacks attached before it
+  triggers run when it fires, in attachment order;
+- :class:`Process` wraps a generator.  ``yield`` transfers control back to
+  the simulator; the yielded object must be an :class:`Event` (or subclass —
+  :class:`Timeout`, another process, a store get, ...).  The value sent back
+  into the generator is the event's value;
+- a process is itself an :class:`Event` that triggers when the generator
+  returns, so processes can wait on each other.
+
+Only behaviours needed by the repro stack are implemented; there is no
+real-time synchronisation and no thread safety (the simulation is strictly
+single-threaded — simulated "threads" are processes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot completion that callbacks and processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, scheduling callbacks now."""
+        if self._value is not _PENDING:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self.sim._queue_trigger(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiting processes see ``exc`` raised."""
+        if self._value is not _PENDING:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("Event.fail requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.sim._queue_trigger(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if already
+        triggered — scheduled at the current time, preserving order)."""
+        if self.callbacks is None:
+            # Already dispatched: schedule the late callback right away.
+            self.sim.call_soon(fn, self)
+        else:
+            self.callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        super().__init__(sim)
+        self._value = value if value is not None else delay
+        sim._schedule_at(sim.now + delay, self)
+
+    # Timeouts are pre-triggered at construction; suppress double-trigger.
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout cannot be re-triggered")
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to ``Process.interrupt``."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator coroutine; also an event for its termination."""
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process requires a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        sim.call_soon(self._start)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self.sim.call_soon(self._throw, Interrupt(cause))
+
+    def _start(self, _evt: Event = None) -> None:
+        self._step(lambda: self.generator.send(None))
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered or event is not self._waiting_on:
+            # Stale wake-up: the process was interrupted (or finished) while
+            # this event was pending; ignore it.
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self.generator.send(event.value))
+        else:
+            self._step(lambda: self.generator.throw(event.value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            super().succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An uncaught interrupt terminates the process "normally" with
+            # the interrupt as its value — callers may inspect it.
+            super().succeed(exc)
+            return
+        except BaseException as exc:
+            super().fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._step(
+                lambda: self.generator.throw(
+                    SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf combinators."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+        else:
+            for evt in self._events:
+                evt.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered; value is their values."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers; value is (index, value)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed((self._events.index(event), event.value))
+
+
+class Simulator:
+    """Owns simulated time and the event heap."""
+
+    __slots__ = ("now", "_heap", "_seq", "_running", "_event_count")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._running = False
+        self._event_count = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event, None, None))
+
+    def _queue_trigger(self, event: Event) -> None:
+        """Queue a triggered event's callback dispatch at the current time."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, event, None, None))
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at the current simulated time, after already
+        queued work."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, None, fn, args))
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
+
+    # -- public API ------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator coroutine as a simulation process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when every child event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first child event fires."""
+        return AnyOf(self, events)
+
+    @property
+    def events_processed(self) -> int:
+        """Total heap entries processed so far (diagnostic)."""
+        return self._event_count
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap empties or simulated time reaches ``until``.
+
+        Returns the final simulated time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        heap = self._heap
+        try:
+            while heap:
+                when, _seq, event, fn, args = heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(heap)
+                self.now = when
+                self._event_count += 1
+                if event is not None:
+                    event._dispatch()
+                else:
+                    fn(*args)
+            else:
+                if until is not None:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: start ``generator`` and run to completion; return its
+        value (raising if it failed)."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self.now}"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,63 @@
+"""Structured tracing of simulation events.
+
+The paper measures end-to-end communication latency "from send of the
+ACTIVATE message to arrival of data for individual flows" (§6.4.2) using
+synchronized clocks.  The :class:`TraceRecorder` captures timestamped records
+from any subsystem; analysis code (``repro.analysis.latency``) joins them
+into per-flow latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record.
+
+    ``time`` is global simulated time; ``local_time`` is the (possibly
+    skewed) node-local clock reading, present when a clock was supplied.
+    """
+
+    time: float
+    kind: str
+    node: int
+    key: Any = None
+    info: Any = None
+    local_time: Optional[float] = None
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records; cheap no-op when disabled."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(  # one timestamped row; no-op when disabled
+        self,
+        time: float,
+        kind: str,
+        node: int,
+        key: Any = None,
+        info: Any = None,
+        local_time: Optional[float] = None,
+    ) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, node, key, info, local_time))
+
+    def by_kind(self, kind: str) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.kind == kind)
+
+    def by_key(self, key: Any) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.key == key)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,56 @@
+"""Unit helpers.
+
+All simulation time is in **seconds** (float), all sizes in **bytes** (int),
+all rates in **bytes per second** unless a name says otherwise.  These helpers
+keep benchmark code readable and make the paper's axis labels (KiB, Gbit/s)
+trivially convertible.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+US = 1e-6
+MS = 1e-3
+NS = 1e-9
+
+
+def gbit_per_s(rate_bytes_per_s: float) -> float:
+    """Convert bytes/second to Gbit/second (decimal giga, as network vendors
+    and the paper's figures use)."""
+    return rate_bytes_per_s * 8.0 / 1e9
+
+
+def bytes_per_s_from_gbit(gbit: float) -> float:
+    """Convert a Gbit/s line rate to bytes/second."""
+    return gbit * 1e9 / 8.0
+
+
+def fmt_size(nbytes: float) -> str:
+    """Human-readable size, binary units, matching the paper's axis style."""
+    if nbytes >= GiB:
+        return f"{nbytes / GiB:g} GiB"
+    if nbytes >= MiB:
+        return f"{nbytes / MiB:g} MiB"
+    if nbytes >= KiB:
+        return f"{nbytes / KiB:g} KiB"
+    return f"{nbytes:g} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable time with µs/ms/s auto-scaling."""
+    if seconds == 0:
+        return "0 s"
+    a = abs(seconds)
+    if a < 1e-3:
+        return f"{seconds / US:.3g} us"
+    if a < 1.0:
+        return f"{seconds / MS:.3g} ms"
+    return f"{seconds:.4g} s"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable bandwidth in Gbit/s (paper convention)."""
+    return f"{gbit_per_s(bytes_per_s):.1f} Gbit/s"

@@ -1,0 +1,83 @@
+"""Tests for the analysis utilities: methodology, summaries, rendering."""
+
+import pytest
+
+from repro.analysis import (
+    MethodologyConfig,
+    ascii_chart,
+    ascii_table,
+    methodology_mean,
+    summarize,
+)
+from repro.errors import BenchmarkError
+
+
+class TestMethodology:
+    def test_paper_microbenchmark_config(self):
+        cfg = MethodologyConfig.microbenchmark()
+        assert (cfg.runs, cfg.discard) == (18, 3)
+
+    def test_paper_hicma_config(self):
+        cfg = MethodologyConfig.hicma()
+        assert (cfg.runs, cfg.discard) == (5, 0)
+
+    def test_discards_leading_runs(self):
+        cfg = MethodologyConfig(runs=5, discard=2)
+        samples = [100.0, 50.0, 1.0, 2.0, 3.0]
+        mean = methodology_mean(lambda i: samples[i], cfg)
+        assert mean == pytest.approx(2.0)
+
+    def test_run_indices_passed_in_order(self):
+        seen = []
+        cfg = MethodologyConfig(runs=4, discard=1)
+        methodology_mean(lambda i: seen.append(i) or float(i), cfg)
+        assert seen == [0, 1, 2, 3]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(BenchmarkError):
+            MethodologyConfig(runs=3, discard=3)
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s["count"] == 0 and s["mean"] == 0.0
+
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["median"] == pytest.approx(2.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+
+    def test_p95(self):
+        s = summarize(list(range(100)))
+        assert 90 <= s["p95"] <= 99
+
+
+class TestAsciiRendering:
+    def test_chart_contains_series_marks_and_title(self):
+        out = ascii_chart(
+            {"a": [(1, 1.0), (2, 2.0)], "b": [(1, 2.0), (2, 1.0)]},
+            title="demo chart",
+        )
+        assert "demo chart" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_chart_empty(self):
+        assert "(no data)" in ascii_chart({"a": []}, title="t")
+
+    def test_chart_log_axis(self):
+        out = ascii_chart({"a": [(1, 0.0), (1024, 1.0)]}, logx=True)
+        assert "(log x)" in out
+
+    def test_chart_constant_series(self):
+        out = ascii_chart({"a": [(1, 5.0), (2, 5.0)]})
+        assert "o" in out
+
+    def test_table_alignment_and_rows(self):
+        out = ascii_table(["col", "value"], [("x", 1), ("longer", 22)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5

@@ -1,0 +1,91 @@
+"""Tests for band sizes > 1 across the DAG builder and mixed kernels."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_platform
+from repro.errors import HicmaError
+from repro.hicma import build_tlr_cholesky_graph, LowRankTile
+from repro.hicma.dag import expected_task_count
+from repro.hicma.kernels import gemm_mixed, syrk_mixed, trsm_mixed, potrf
+from repro.runtime import ParsecContext
+
+
+class TestMixedKernels:
+    def setup_method(self):
+        rng = np.random.default_rng(30)
+        self.b = 32
+        m = rng.standard_normal((self.b, self.b))
+        self.spd = m @ m.T + self.b * np.eye(self.b)
+        self.lkk = potrf(self.spd)
+        self.dense = rng.standard_normal((self.b, self.b))
+        self.lr = LowRankTile(
+            rng.standard_normal((self.b, 3)), rng.standard_normal((self.b, 3))
+        )
+        self.lr2 = LowRankTile(
+            rng.standard_normal((self.b, 2)), rng.standard_normal((self.b, 2))
+        )
+
+    def test_trsm_mixed_dispatch(self):
+        out_d = trsm_mixed(self.lkk, self.dense)
+        assert isinstance(out_d, np.ndarray)
+        out_lr = trsm_mixed(self.lkk, self.lr)
+        assert isinstance(out_lr, LowRankTile)
+
+    def test_syrk_mixed_dispatch(self):
+        c = self.spd.copy()
+        out_d = syrk_mixed(c, self.dense)
+        expect = c - self.dense @ self.dense.T
+        assert np.allclose(out_d, expect)
+        out_lr = syrk_mixed(c, self.lr)
+        assert np.allclose(out_lr, c - self.lr.to_dense() @ self.lr.to_dense().T)
+
+    @pytest.mark.parametrize("c_kind", ["dense", "lr"])
+    @pytest.mark.parametrize("a_kind", ["dense", "lr"])
+    @pytest.mark.parametrize("b_kind", ["dense", "lr"])
+    def test_gemm_mixed_all_combinations(self, c_kind, a_kind, b_kind):
+        rng = np.random.default_rng(31)
+        def make(kind):
+            if kind == "dense":
+                return rng.standard_normal((self.b, self.b))
+            return LowRankTile(
+                rng.standard_normal((self.b, 3)), rng.standard_normal((self.b, 3))
+            )
+
+        c, a, bb = make(c_kind), make(a_kind), make(b_kind)
+        c_dense = c if isinstance(c, np.ndarray) else c.to_dense()
+        a_dense = a if isinstance(a, np.ndarray) else a.to_dense()
+        b_dense = bb if isinstance(bb, np.ndarray) else bb.to_dense()
+        expect = c_dense - a_dense @ b_dense.T
+        out = gemm_mixed(c, a, bb, tol=1e-12, maxrank=self.b)
+        out_dense = out if isinstance(out, np.ndarray) else out.to_dense()
+        scale = 1 + np.abs(expect).max()
+        assert np.allclose(out_dense, expect, atol=1e-7 * scale)
+        # Result class follows the target tile's class.
+        assert isinstance(out, np.ndarray) == (c_kind == "dense")
+
+
+class TestBandDag:
+    def test_band_preserves_task_count(self):
+        for band in (1, 2, 3):
+            g = build_tlr_cholesky_graph(8, 512, num_nodes=2, band=band)
+            assert g.num_tasks == expected_task_count(8)
+            g.validate(num_nodes=2)
+
+    def test_wider_band_moves_more_bytes(self):
+        g1 = build_tlr_cholesky_graph(10, 960, num_nodes=4, band=1)
+        g3 = build_tlr_cholesky_graph(10, 960, num_nodes=4, band=3)
+        assert g3.total_remote_bytes() > g1.total_remote_bytes()
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(HicmaError, match="band"):
+            build_tlr_cholesky_graph(4, 512, num_nodes=1, band=0)
+
+    @pytest.mark.parametrize("backend", ["mpi", "lci"])
+    def test_band_graph_executes(self, backend):
+        g = build_tlr_cholesky_graph(8, 960, num_nodes=4, band=2)
+        ctx = ParsecContext(
+            scaled_platform(num_nodes=4, cores_per_node=4), backend=backend
+        )
+        stats = ctx.run(g, until=120.0)
+        assert stats.tasks_executed == g.num_tasks

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _size, build_parser, main
+
+
+class TestSizeParsing:
+    @pytest.mark.parametrize(
+        "text,expect",
+        [
+            ("1024", 1024),
+            ("64K", 64 * 1024),
+            ("64KiB", 64 * 1024),
+            ("8M", 8 * 1024 * 1024),
+            ("1.5M", int(1.5 * 1024 * 1024)),
+        ],
+    )
+    def test_valid(self, text, expect):
+        assert _size(text) == expect
+
+    def test_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _size("lots")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pingpong_defaults(self):
+        args = build_parser().parse_args(["pingpong"])
+        assert args.backend == "lci"
+        assert args.fragment == 128 * 1024
+
+    def test_hicma_flags(self):
+        args = build_parser().parse_args(
+            ["hicma", "--backend", "mpi", "--tile", "900", "--mt-activate"]
+        )
+        assert args.backend == "mpi"
+        assert args.tile == 900
+        assert args.mt_activate is True
+
+
+class TestCommands:
+    def test_netpipe(self, capsys):
+        assert main(["netpipe", "64K", "1M"]) == 0
+        out = capsys.readouterr().out
+        assert "Gbit/s" in out
+        assert "64 KiB" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "[network]" in out and "bandwidth" in out
+
+    def test_pingpong(self, capsys):
+        assert main(
+            ["pingpong", "--fragment", "256K", "--total", "1M", "--iterations", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Gbit/s" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--fragment", "256K", "--total", "1M"]) == 0
+        out = capsys.readouterr().out
+        assert "winner: lci" in out
+
+    def test_hicma(self, capsys):
+        assert main(
+            ["hicma", "--matrix", "7200", "--tile", "1200", "--nodes", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TTS=" in out
+
+    def test_hicma_native_put(self, capsys):
+        assert main(
+            ["hicma", "--matrix", "7200", "--tile", "1200", "--nodes", "2",
+             "--native-put"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "native put" in out
+
+    def test_overlap(self, capsys):
+        assert main(["overlap", "--fragment", "1M", "--total", "4M"]) == 0
+        out = capsys.readouterr().out
+        assert "TFLOP/s" in out and "roofline" in out
+
+
+class TestNewCommands:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "256K", "--total", "1M"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI Gbit/s" in out and "LCI Gbit/s" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--size", "256K"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[OK ]") == 3

@@ -1,0 +1,50 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The slower sweeps (strong_scaling, latency_study) are exercised indirectly
+through the benchmark suite; here we run the quick ones as real
+subprocesses so import errors, API drift, or output regressions in
+`examples/` fail CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in present
+    assert len(present) >= 3  # the deliverable minimum
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "time-to-solution" in out
+    assert "LCI vs MPI" in out
+
+
+def test_latency_breakdown_runs():
+    out = run_example("latency_breakdown.py")
+    assert "activate" in out and "transfer" in out
+    assert "mpi" in out and "lci" in out
+
+
+def test_tlr_cholesky_numerics_runs():
+    out = run_example("tlr_cholesky_numerics.py")
+    assert "OK" in out
+    assert "rank" in out

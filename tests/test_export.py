@@ -1,0 +1,65 @@
+"""Tests for JSON export of benchmark results."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import dump_results, load_results, to_jsonable
+from repro.analysis.latency import FlowBreakdown
+from repro.runtime.context import RunStats
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(v) == v
+
+    def test_dataclass(self):
+        stats = RunStats(backend="lci", num_nodes=2, workers_per_node=4)
+        d = to_jsonable(stats)
+        assert d["backend"] == "lci"
+        assert d["num_nodes"] == 2
+
+    def test_nested_containers(self):
+        fb = FlowBreakdown(1, 2, 0.1, 0.2, 0.3)
+        out = to_jsonable({"flows": [fb, fb]})
+        assert out["flows"][0]["activate"] == 0.1
+
+    def test_numpy_values(self):
+        import numpy as np
+
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_tuple_keys_coerced(self):
+        out = to_jsonable({(1, 2): "x"})
+        assert out == {"(1, 2)": "x"}
+
+
+class TestDumpLoad:
+    def test_round_trip_stream(self):
+        stats = RunStats(
+            backend="mpi", num_nodes=4, workers_per_node=7, makespan=1.25
+        )
+        buf = io.StringIO()
+        dump_results({"run": stats}, buf, title="demo")
+        buf.seek(0)
+        doc = load_results(buf)
+        assert doc["title"] == "demo"
+        assert doc["results"]["run"]["makespan"] == 1.25
+        assert "repro_version" in doc
+        assert doc["platform"]["cores_per_node"] == 128
+
+    def test_round_trip_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        dump_results([1, 2, 3], path, include_platform=False)
+        doc = load_results(path)
+        assert doc["results"] == [1, 2, 3]
+        assert "platform" not in doc
+
+    def test_document_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        dump_results({"a": RunStats(backend="lci", num_nodes=1, workers_per_node=1)}, path)
+        with open(path) as fh:
+            json.load(fh)  # must not raise

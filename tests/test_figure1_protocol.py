@@ -1,0 +1,145 @@
+"""Protocol walkthrough of the paper's Figure 1.
+
+Figure 1: task A runs on node W with descendant tasks B on node X and C on
+node Y; four dataflows propagate as part of the broadcast.  We reconstruct
+that exact scenario (3 nodes, A on node 0 producing one flow consumed by B
+on node 1 and C on node 2) and verify the wire-level message sequence of
+the ACTIVATE / GET DATA / put protocol on both backends, plus the Fig. 1
+"cleanup if all done" bookkeeping.
+"""
+
+import pytest
+
+from repro.config import scaled_platform
+from repro.runtime import ParsecContext, TaskGraph
+from repro.units import KiB, MiB
+
+
+def figure1_graph(flow_bytes=1 * MiB):
+    g = TaskGraph()
+    a = g.add_task(node=0, duration=5e-6, kind="A")
+    flow = g.add_flow(a, flow_bytes)
+    g.add_task(node=1, duration=5e-6, inputs=[flow], kind="B")
+    g.add_task(node=2, duration=5e-6, inputs=[flow], kind="C")
+    return g
+
+
+def run_logged(backend, flow_bytes=1 * MiB, **kwargs):
+    ctx = ParsecContext(
+        scaled_platform(num_nodes=3, cores_per_node=2), backend=backend, **kwargs
+    )
+    log = ctx.fabric.enable_message_log()
+    stats = ctx.run(figure1_graph(flow_bytes), until=10.0)
+    return ctx, stats, log
+
+
+def mpi_kinds(log):
+    """(src, dst, payload-kind[, tag]) for MPI wire messages, in inject order."""
+    out = []
+    for m in log:
+        p = m.payload
+        if p["kind"] == "eager" and "am" in (p.get("data") or {}):
+            out.append((m.src, m.dst, "am", p["tag"]))
+        else:
+            out.append((m.src, m.dst, p["kind"], p.get("tag")))
+    return out
+
+
+@pytest.mark.parametrize("backend", ["mpi", "lci"])
+class TestFigure1Scenario:
+    def test_all_descendants_execute(self, backend):
+        _ctx, stats, _log = run_logged(backend)
+        assert stats.tasks_executed == 3
+        assert len(stats.flow_latencies) == 2  # X and Y both received data
+
+    def test_producer_cleanup_happens(self, backend):
+        """Fig. 1: 'Cleanup if all done' once every consumer is served."""
+        ctx, _stats, _log = run_logged(backend)
+        assert ctx.nodes[0].serves_remaining == {}
+        total_cleanups = sum(n.cleanups_done for n in ctx.nodes)
+        assert total_cleanups >= 1
+
+    def test_binomial_tree_forwarding(self, backend):
+        """With W as root and descendants on X and Y, the binomial tree is
+        W→{X, Y}: both ACTIVATEs originate at W (no relaying needed)."""
+        _ctx, _stats, log = run_logged(backend)
+        sources = {m.src for m in log}
+        assert 0 in sources  # W sent
+        # X never forwards to Y or vice versa in a 3-node tree.
+        x_to_y = [m for m in log if {m.src, m.dst} == {1, 2}]
+        assert x_to_y == []
+
+
+class TestMpiWireSequence:
+    def test_per_destination_message_order(self):
+        """For each destination, the paper's sequence must appear:
+        ACTIVATE(W→X), GET DATA(X→W), handshake AM(W→X), then the
+        rendezvous RTS/CTS/data for the bulk transfer."""
+        from repro.runtime.comm_engine import TAG_ACTIVATE, TAG_GETDATA
+
+        _ctx, _stats, log = run_logged("mpi")
+        kinds = mpi_kinds(log)
+        for dst in (1, 2):
+            w_to_dst = [k for k in kinds if k[0] == 0 and k[1] == dst]
+            dst_to_w = [k for k in kinds if k[0] == dst and k[1] == 0]
+            # W → dst: ACTIVATE first, then the put handshake (tag 0), then
+            # the rendezvous RTS for the 1 MiB data.
+            tags = [k[3] for k in w_to_dst if k[2] == "am"]
+            assert tags[0] == TAG_ACTIVATE
+            assert 0 in tags  # _TAG_PUT_HS
+            assert any(k[2] == "rts" for k in w_to_dst)
+            assert any(k[2] == "rdata" for k in w_to_dst)
+            # dst → W: the GET DATA request and the rendezvous CTS.
+            assert any(k[2] == "am" and k[3] == TAG_GETDATA for k in dst_to_w)
+            assert any(k[2] == "cts" for k in dst_to_w)
+            # Ordering: ACTIVATE injected before the data message.
+            activate_i = kinds.index(("0", dst, "am", TAG_ACTIVATE)) if False else next(
+                i for i, k in enumerate(kinds)
+                if k == (0, dst, "am", TAG_ACTIVATE)
+            )
+            data_i = next(
+                i for i, k in enumerate(kinds) if k[:3] == (0, dst, "rdata")
+            )
+            assert activate_i < data_i
+
+    def test_small_flow_uses_eager_data(self):
+        """A flow below the rendezvous threshold travels as an eager
+        message — no RTS/CTS."""
+        _ctx, _stats, log = run_logged("mpi", flow_bytes=4 * KiB)
+        kinds = mpi_kinds(log)
+        assert not any(k[2] == "rts" for k in kinds)
+        assert not any(k[2] == "cts" for k in kinds)
+
+
+class TestLciWireSequence:
+    def test_handshake_carries_eager_payload_for_small_flows(self):
+        """§5.3.3: small put data rides inside the handshake — the only LCI
+        messages are AMs (ACTIVATE, GET DATA, handshake); no RTS/RTR/RDMA."""
+        _ctx, _stats, log = run_logged("lci", flow_bytes=4 * KiB)
+        wire_kinds = {m.payload["kind"] for m in log}
+        assert wire_kinds == {"am"}
+
+    def test_large_flow_uses_direct_protocol(self):
+        _ctx, _stats, log = run_logged("lci", flow_bytes=1 * MiB)
+        wire_kinds = [m.payload["kind"] for m in log]
+        assert "rts" in wire_kinds
+        assert "rtr" in wire_kinds
+        assert "rdma" in wire_kinds
+
+    def test_native_put_removes_rendezvous(self):
+        """With the §7 one-sided put there is no RTS/RTR exchange and no
+        separate handshake data tag matching — just AMs + the RDMA write."""
+        _ctx, _stats, log = run_logged("lci", flow_bytes=1 * MiB, native_put=True)
+        wire_kinds = [m.payload["kind"] for m in log]
+        assert "rts" not in wire_kinds
+        assert "rtr" not in wire_kinds
+        assert "rdma" in wire_kinds
+
+    def test_message_counts_per_destination(self):
+        """Exactly one ACTIVATE, one GET DATA, one handshake and one data
+        transfer per destination for the single flow."""
+        _ctx, _stats, log = run_logged("lci", flow_bytes=1 * MiB)
+        for dst in (1, 2):
+            rdma = [m for m in log if m.src == 0 and m.dst == dst
+                    and m.payload["kind"] == "rdma"]
+            assert len(rdma) == 1

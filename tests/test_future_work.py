@@ -1,0 +1,162 @@
+"""Tests for the paper's §7 future-work features, implemented as options:
+
+- LCI one-sided put with remote completion (``native_put``), directly
+  implementing the PaRSEC put interface without the handshake emulation;
+- multiple communication / progress threads per node.
+"""
+
+import pytest
+
+from repro.config import scaled_platform
+from repro.errors import RuntimeBackendError
+from repro.lci import LciWorld, CompletionQueue, LCI_OK, LCI_ERR_RETRY
+from repro.config import LciCosts
+from repro.network import Fabric
+from repro.runtime import ParsecContext, TaskGraph
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+def comm_graph(n_flows=30, size=256 * KiB):
+    g = TaskGraph()
+    for _ in range(n_flows):
+        t = g.add_task(node=0, duration=2e-6)
+        f = g.add_flow(t, size)
+        g.add_task(node=1, duration=2e-6, inputs=[f])
+    return g
+
+
+class TestDevicePutd:
+    def make(self, costs=None):
+        sim = Simulator()
+        fabric = Fabric(sim, 2)
+        world = LciWorld(sim, fabric, costs)
+        return sim, world
+
+    def test_putd_delivers_to_put_handler(self):
+        sim, world = self.make()
+        d0, d1 = world.devices
+        got = []
+        d1.put_handler = lambda rec: got.append((rec.user_ctx, rec.payload, rec.size))
+        cq = CompletionQueue(sim)
+
+        def main():
+            status = yield from d0.putd(
+                dst=1, tag=5, size=1 * MiB, data="bulk", comp=cq, remote_meta="meta"
+            )
+            assert status == LCI_OK
+            # Drive both progress engines until completions land.
+            while len(cq) == 0 or not got:
+                yield from d0.progress()
+                yield from d1.progress()
+                if len(cq) == 0 or not got:
+                    yield sim.timeout(1e-5)
+            rec = yield from cq.pop()
+            return rec
+
+        rec = sim.run_process(main(), until=1.0)
+        assert got == [("meta", "bulk", 1 * MiB)]
+        assert rec.op == "sendd"  # origin-side completion record
+        assert d0.send_slots_free == d0.costs.direct_slots
+
+    def test_putd_needs_no_recv_slot_at_target(self):
+        sim, world = self.make(LciCosts(direct_slots=1))
+        d0, d1 = world.devices
+        d1.put_handler = lambda rec: None
+
+        def main():
+            s1 = yield from d0.putd(dst=1, tag=1, size=1 * MiB, remote_meta=None)
+            # Origin slot pool exhausted -> retry; target pool untouched.
+            s2 = yield from d0.putd(dst=1, tag=2, size=1 * MiB, remote_meta=None)
+            return (s1, s2, d1.recv_slots_free)
+
+        s1, s2, free = sim.run_process(main(), until=1.0)
+        sim.run()
+        assert (s1, s2) == (LCI_OK, LCI_ERR_RETRY)
+        assert free == 1
+
+    def test_putd_without_handler_raises(self):
+        sim, world = self.make()
+        d0, d1 = world.devices
+
+        def main():
+            yield from d0.putd(dst=1, tag=1, size=64 * KiB, remote_meta=None)
+            yield sim.timeout(1e-3)
+            yield from d1.progress()
+
+        from repro.errors import LciError
+
+        with pytest.raises(LciError, match="no put_handler"):
+            sim.run_process(main())
+
+
+class TestNativePutBackend:
+    def test_native_put_completes_workload(self):
+        ctx = ParsecContext(
+            scaled_platform(num_nodes=2, cores_per_node=4),
+            backend="lci",
+            native_put=True,
+        )
+        g = comm_graph()
+        stats = ctx.run(g, until=10.0)
+        assert stats.tasks_executed == g.num_tasks
+
+    def test_native_put_reduces_latency(self):
+        """Skipping the handshake round removes a control-message exchange
+        from every transfer."""
+        lat = {}
+        for native in (False, True):
+            ctx = ParsecContext(
+                scaled_platform(num_nodes=2, cores_per_node=4),
+                backend="lci",
+                native_put=native,
+            )
+            lat[native] = ctx.run(comm_graph(), until=10.0).mean_flow_latency
+        assert lat[True] < lat[False]
+
+    def test_native_put_requires_lci(self):
+        with pytest.raises(RuntimeBackendError, match="requires the LCI"):
+            ParsecContext(scaled_platform(), backend="mpi", native_put=True)
+
+
+class TestMultipleThreads:
+    def test_two_progress_threads_complete_workload(self):
+        ctx = ParsecContext(
+            scaled_platform(num_nodes=2, cores_per_node=4),
+            backend="lci",
+            num_progress_threads=2,
+        )
+        g = comm_graph()
+        stats = ctx.run(g, until=10.0)
+        assert stats.tasks_executed == g.num_tasks
+
+    def test_two_comm_threads_complete_workload_both_backends(self):
+        for backend in ("mpi", "lci"):
+            ctx = ParsecContext(
+                scaled_platform(num_nodes=2, cores_per_node=4),
+                backend=backend,
+                num_comm_threads=2,
+            )
+            g = comm_graph()
+            stats = ctx.run(g, until=10.0)
+            assert stats.tasks_executed == g.num_tasks
+
+    def test_extra_threads_help_lci_under_load(self):
+        """Under a heavy small-flow load the comm thread is the LCI
+        bottleneck; a second one raises throughput."""
+        times = {}
+        for n_comm in (1, 2):
+            ctx = ParsecContext(
+                scaled_platform(num_nodes=2, cores_per_node=6),
+                backend="lci",
+                num_comm_threads=n_comm,
+            )
+            g = comm_graph(n_flows=300, size=16 * KiB)
+            times[n_comm] = ctx.run(g, until=30.0).makespan
+        assert times[2] <= times[1] * 1.02
+
+    def test_invalid_thread_counts_rejected(self):
+        with pytest.raises(RuntimeBackendError):
+            ParsecContext(scaled_platform(), num_progress_threads=0)
+        with pytest.raises(RuntimeBackendError):
+            ParsecContext(scaled_platform(), num_comm_threads=0)

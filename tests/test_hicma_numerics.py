@@ -1,0 +1,260 @@
+"""Numerical tests: st-2d-sqexp generation, low-rank algebra, TLR Cholesky."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HicmaError
+from repro.hicma import (
+    LowRankTile,
+    SqExpProblem,
+    TLRMatrix,
+    compress_dense,
+    dense_tiled_cholesky,
+    recompress,
+    tlr_cholesky,
+)
+from repro.hicma.kernels import gemm_lr, potrf, syrk_lr, trsm_lr
+from repro.hicma.starsh import morton_order
+
+
+class TestSqExpProblem:
+    def test_matrix_is_symmetric_positive_definite(self):
+        prob = SqExpProblem(144, seed=1)
+        a = prob.dense()
+        assert np.allclose(a, a.T)
+        w = np.linalg.eigvalsh(a)
+        assert w.min() > 0
+
+    def test_diagonal_includes_nugget(self):
+        prob = SqExpProblem(64, nugget=1e-3, seed=2)
+        a = prob.dense()
+        assert np.all(np.diag(a) >= 1.0)  # exp(0)=1 plus nugget
+
+    def test_tile_extraction_matches_dense(self):
+        prob = SqExpProblem(128, seed=3)
+        a = prob.dense()
+        t = prob.tile(1, 0, 32)
+        assert np.allclose(t, a[32:64, 0:32])
+
+    def test_offdiagonal_tiles_are_low_rank(self):
+        """Morton ordering must give rapidly decaying singular values."""
+        prob = SqExpProblem(1024, beta=0.15, seed=4)
+        tile = prob.tile(3, 0, 256)
+        s = np.linalg.svd(tile, compute_uv=False)
+        assert s[50] < 1e-8 * s[0]  # numerically low rank (≤ 50 of 256)
+
+    def test_morton_order_locality(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((512, 2))
+        perm = morton_order(pts)
+        ordered = pts[perm]
+        # Mean distance between Morton neighbours must beat random order.
+        d_m = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        d_r = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert d_m < d_r / 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(HicmaError):
+            SqExpProblem(0)
+        with pytest.raises(HicmaError):
+            SqExpProblem(10, beta=-1)
+
+    def test_dense_refuses_huge(self):
+        prob = SqExpProblem(5000)
+        with pytest.raises(HicmaError):
+            prob.dense()
+
+
+class TestLowRank:
+    def test_compress_reconstruct_accuracy(self):
+        rng = np.random.default_rng(5)
+        a = (rng.random((60, 8)) @ rng.random((8, 60))) + 1e-10 * rng.random((60, 60))
+        lr = compress_dense(a, tol=1e-9)
+        assert lr.rank <= 10
+        assert np.linalg.norm(lr.to_dense() - a) <= 1e-6 * np.linalg.norm(a)
+
+    def test_compress_respects_maxrank(self):
+        rng = np.random.default_rng(6)
+        a = rng.random((40, 40))  # full rank
+        lr = compress_dense(a, tol=1e-15, maxrank=7)
+        assert lr.rank == 7
+
+    def test_recompress_reduces_rank(self):
+        rng = np.random.default_rng(7)
+        u = rng.random((50, 4))
+        v = rng.random((50, 4))
+        # Stack the same tile twice: rank 8 representation of a rank-4 tile.
+        lr = recompress(np.hstack([u, u]), np.hstack([v, v]), tol=1e-12)
+        assert lr.rank <= 4
+        assert np.allclose(lr.to_dense(), 2 * u @ v.T, atol=1e-9)
+
+    def test_zero_tile_rank_one(self):
+        lr = compress_dense(np.zeros((16, 16)), tol=1e-8)
+        assert lr.rank == 1
+        assert np.allclose(lr.to_dense(), 0)
+
+    def test_nbytes_packed_format(self):
+        lr = LowRankTile(np.zeros((100, 5)), np.zeros((100, 5)))
+        assert lr.nbytes == 2 * 100 * 5 * 8
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(HicmaError):
+            LowRankTile(np.zeros((4, 2)), np.zeros((4, 3)))
+
+    def test_bad_tol_rejected(self):
+        with pytest.raises(HicmaError):
+            compress_dense(np.eye(4), tol=0.0)
+
+
+class TestKernels:
+    def setup_method(self):
+        rng = np.random.default_rng(8)
+        self.b = 32
+        m = rng.random((self.b, self.b))
+        self.spd = m @ m.T + self.b * np.eye(self.b)
+        self.lkk = potrf(self.spd)
+
+    def test_potrf_correct(self):
+        assert np.allclose(self.lkk @ self.lkk.T, self.spd)
+        assert np.allclose(self.lkk, np.tril(self.lkk))
+
+    def test_potrf_rejects_indefinite(self):
+        with pytest.raises(HicmaError):
+            potrf(-np.eye(4))
+
+    def test_trsm_lr_matches_dense(self):
+        rng = np.random.default_rng(9)
+        lr = LowRankTile(rng.random((self.b, 3)), rng.random((self.b, 3)))
+        dense_result = lr.to_dense() @ np.linalg.inv(self.lkk).T
+        assert np.allclose(trsm_lr(self.lkk, lr).to_dense(), dense_result)
+
+    def test_syrk_lr_matches_dense(self):
+        rng = np.random.default_rng(10)
+        lr = LowRankTile(rng.random((self.b, 3)), rng.random((self.b, 3)))
+        c = rng.random((self.b, self.b))
+        expect = c - lr.to_dense() @ lr.to_dense().T
+        assert np.allclose(syrk_lr(c, lr), expect)
+
+    def test_gemm_lr_matches_dense(self):
+        rng = np.random.default_rng(11)
+        cij = LowRankTile(rng.random((self.b, 4)), rng.random((self.b, 4)))
+        aik = LowRankTile(rng.random((self.b, 3)), rng.random((self.b, 3)))
+        ajk = LowRankTile(rng.random((self.b, 2)), rng.random((self.b, 2)))
+        expect = cij.to_dense() - aik.to_dense() @ ajk.to_dense().T
+        got = gemm_lr(cij, aik, ajk, tol=1e-13)
+        assert np.allclose(got.to_dense(), expect, atol=1e-8)
+        assert got.rank <= 6  # at most r_c + min(r1, r2)
+
+
+class TestTLRMatrix:
+    def test_build_and_reconstruct(self):
+        prob = SqExpProblem(256, seed=12)
+        tlr = TLRMatrix.from_problem(prob, tile_size=64, tol=1e-9)
+        a = prob.dense()
+        err = np.linalg.norm(tlr.to_dense() - a) / np.linalg.norm(a)
+        assert err < 1e-7
+
+    def test_band_tiles_dense_offband_lr(self):
+        prob = SqExpProblem(256, seed=13)
+        tlr = TLRMatrix.from_problem(prob, tile_size=64, tol=1e-8)
+        assert isinstance(tlr.tile(0, 0), np.ndarray)
+        assert isinstance(tlr.tile(3, 0), LowRankTile)
+
+    def test_rank_statistics(self):
+        prob = SqExpProblem(1024, beta=0.15, seed=14)
+        tlr = TLRMatrix.from_problem(prob, tile_size=128, tol=1e-8, maxrank=60)
+        ranks = tlr.ranks()
+        # Nearest off-diagonal tiles have higher rank than farthest.
+        near = np.mean([ranks[i + 1, i] for i in range(tlr.nt - 1)])
+        far = ranks[tlr.nt - 1, 0]
+        assert near > far
+        assert tlr.max_offband_rank() <= 60
+
+    def test_compression_saves_memory(self):
+        prob = SqExpProblem(1024, beta=0.15, seed=15)
+        tlr = TLRMatrix.from_problem(prob, tile_size=128, tol=1e-8)
+        assert tlr.compression_bytes() < 1024 * 1024 * 8 * 0.8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(HicmaError):
+            TLRMatrix(100, 33)  # not divisible
+        with pytest.raises(HicmaError):
+            TLRMatrix(0, 1)
+        with pytest.raises(HicmaError):
+            TLRMatrix(64, 8, band=0)
+
+    def test_upper_triangle_rejected(self):
+        tlr = TLRMatrix(64, 32)
+        with pytest.raises(HicmaError):
+            tlr.tile(0, 1)
+
+
+class TestCholesky:
+    def _factor_error(self, n, tile, tol):
+        prob = SqExpProblem(n, beta=0.12, seed=16)
+        a = prob.dense()
+        tlr = TLRMatrix.from_problem(prob, tile_size=tile, tol=tol)
+        stats = tlr_cholesky(tlr, tol=tol)
+        l = tlr.lower_dense()
+        err = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        return err, stats
+
+    def test_tlr_cholesky_accuracy(self):
+        err, stats = self._factor_error(n=512, tile=64, tol=1e-9)
+        assert err < 1e-6
+        assert stats.potrf == 8
+
+    def test_tlr_cholesky_task_counts(self):
+        _err, stats = self._factor_error(n=256, tile=64, tol=1e-9)
+        nt = 4
+        assert stats.potrf == nt
+        assert stats.trsm == nt * (nt - 1) // 2
+        assert stats.syrk == nt * (nt - 1) // 2
+        assert stats.gemm == nt * (nt - 1) * (nt - 2) // 6
+
+    def test_tighter_tolerance_improves_accuracy(self):
+        # tol must stay well below the nugget (1e-4) or the compressed
+        # matrix loses positive definiteness — itself a meaningful property,
+        # but not the one under test here.
+        loose, _ = self._factor_error(n=256, tile=64, tol=1e-6)
+        tight, _ = self._factor_error(n=256, tile=64, tol=1e-10)
+        assert tight < loose
+
+    def test_dense_tiled_cholesky_matches_lapack(self):
+        prob = SqExpProblem(256, seed=17)
+        a = prob.dense()
+        l, stats = dense_tiled_cholesky(a, tile_size=64)
+        assert np.allclose(l, np.linalg.cholesky(a), atol=1e-10)
+        assert stats.total_tasks == 4 + 6 + 6 + 4
+
+    def test_tlr_matches_dense_factorization(self):
+        prob = SqExpProblem(256, beta=0.12, seed=18)
+        a = prob.dense()
+        tlr = TLRMatrix.from_problem(prob, tile_size=64, tol=1e-11)
+        tlr_cholesky(tlr, tol=1e-11)
+        l_dense, _ = dense_tiled_cholesky(a, tile_size=64)
+        assert np.allclose(tlr.lower_dense(), l_dense, atol=1e-5)
+
+    def test_wider_band_factorizes_correctly(self):
+        """Band 2: the first off-diagonals stay dense; the mixed kernels
+        must still produce an accurate factor."""
+        prob = SqExpProblem(512, beta=0.12, seed=19)
+        a = prob.dense()
+        tlr = TLRMatrix.from_problem(prob, tile_size=64, tol=1e-10, band=2)
+        stats = tlr_cholesky(tlr, tol=1e-10)
+        l = tlr.lower_dense()
+        err = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        assert err < 1e-7
+        assert stats.total_tasks > 0
+
+    def test_band_accuracy_ordering(self):
+        """A wider dense band can only improve (or match) accuracy."""
+        prob = SqExpProblem(256, beta=0.12, seed=19)
+        a = prob.dense()
+        errs = {}
+        for band in (1, 2):
+            tlr = TLRMatrix.from_problem(prob, tile_size=64, tol=1e-7, band=band)
+            tlr_cholesky(tlr, tol=1e-7)
+            l = tlr.lower_dense()
+            errs[band] = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        assert errs[2] <= errs[1] * 1.5  # at least comparable

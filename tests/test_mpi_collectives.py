@@ -1,0 +1,137 @@
+"""Tests for MPI collectives (barrier / bcast / allreduce)."""
+
+import pytest
+
+from repro.mpi import MpiWorld
+from repro.mpi.collectives import allreduce, barrier, bcast
+from repro.network import Fabric
+from repro.sim import Simulator
+
+
+def make_world(n):
+    sim = Simulator()
+    fabric = Fabric(sim, n)
+    return sim, MpiWorld(sim, fabric)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_no_rank_leaves_before_all_enter(self, n):
+        sim, world = make_world(n)
+        enter, leave = {}, {}
+
+        def participant(r, delay):
+            yield sim.timeout(delay)
+            enter[r] = sim.now
+            yield from barrier(world.ranks[r])
+            leave[r] = sim.now
+
+        for r in range(n):
+            sim.process(participant(r, delay=r * 1e-3))
+        sim.run()
+        assert len(leave) == n
+        assert min(leave.values()) >= max(enter.values())
+
+    def test_single_rank_trivial(self):
+        sim, world = make_world(1)
+
+        def p():
+            yield from barrier(world.ranks[0])
+            return sim.now
+
+        # Zero rounds: completes immediately.
+        assert sim.run_process(p()) == 0.0
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n,root", [(2, 0), (4, 0), (4, 2), (8, 5), (6, 1)])
+    def test_all_ranks_receive_payload(self, n, root):
+        sim, world = make_world(n)
+        got = {}
+
+        def participant(r):
+            value = yield from bcast(
+                world.ranks[r], root, 4096,
+                payload="the-data" if r == root else None,
+            )
+            got[r] = value
+
+        for r in range(n):
+            sim.process(participant(r))
+        sim.run()
+        assert got == {r: "the-data" for r in range(n)}
+
+    def test_logarithmic_depth(self):
+        """Broadcast over 8 ranks must take ~3 rounds, not 7."""
+        times = {}
+        for n in (2, 8):
+            sim, world = make_world(n)
+
+            def participant(r, sim=sim, world=world, n=n):
+                yield from bcast(world.ranks[r], 0, 1024,
+                                 payload="x" if r == 0 else None)
+                times[(n, r)] = sim.now
+
+            for r in range(n):
+                sim.process(participant(r))
+            sim.run()
+        t2 = max(t for (n, _r), t in times.items() if n == 2)
+        t8 = max(t for (n, _r), t in times.items() if n == 8)
+        # 3 tree rounds (plus per-hop software costs) — clearly below the
+        # 7 sequential sends a linear broadcast would take.
+        assert t8 < 5 * t2
+
+    def test_invalid_root(self):
+        sim, world = make_world(2)
+
+        def p():
+            yield from bcast(world.ranks[0], 5, 10)
+
+        from repro.errors import MpiError
+
+        with pytest.raises(MpiError):
+            sim.run_process(p())
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_sum_power_of_two(self, n):
+        sim, world = make_world(n)
+        got = {}
+
+        def participant(r):
+            result = yield from allreduce(world.ranks[r], r + 1, lambda a, b: a + b)
+            got[r] = result
+
+        for r in range(n):
+            sim.process(participant(r))
+        sim.run()
+        expect = n * (n + 1) // 2
+        assert got == {r: expect for r in range(n)}
+
+    @pytest.mark.parametrize("n", [3, 5, 6])
+    def test_sum_non_power_of_two(self, n):
+        sim, world = make_world(n)
+        got = {}
+
+        def participant(r):
+            result = yield from allreduce(world.ranks[r], r + 1, lambda a, b: a + b)
+            got[r] = result
+
+        for r in range(n):
+            sim.process(participant(r))
+        sim.run()
+        expect = n * (n + 1) // 2
+        assert got == {r: expect for r in range(n)}
+
+    def test_max_op(self):
+        sim, world = make_world(4)
+        got = {}
+
+        def participant(r):
+            got[r] = yield from allreduce(world.ranks[r], r * 10, max)
+
+        for r in range(4):
+            sim.process(participant(r))
+        sim.run()
+        assert got == {r: 30 for r in range(4)}

@@ -1,0 +1,59 @@
+"""Tests that REPRO_PAPER_SCALE switches every harness to the paper's
+dimensions (without actually running the huge configurations)."""
+
+import pytest
+
+from repro.bench.hicma_bench import default_matrix_size, default_tile_sizes
+from repro.bench.pingpong import PingPongConfig, default_granularities
+from repro.units import KiB, MiB
+
+
+class TestDefaultScale:
+    def test_granularities_ci_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        sizes = default_granularities()
+        assert sizes[0] >= 8 * KiB
+        assert len(sizes) <= 6
+
+    def test_pingpong_total_ci_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert PingPongConfig(fragment_size=64 * KiB).resolved_total() == 32 * MiB
+
+    def test_hicma_ci_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert default_matrix_size() == 36_000
+        for tile in default_tile_sizes():
+            assert default_matrix_size() % tile == 0
+
+
+class TestPaperScale:
+    def test_granularities_full_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        sizes = default_granularities()
+        assert sizes[0] == 8 * KiB
+        assert sizes[-1] == 8 * MiB
+        assert len(sizes) == 11  # every octave
+
+    def test_pingpong_total_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        cfg = PingPongConfig(fragment_size=8 * KiB)
+        assert cfg.resolved_total() == 256 * MiB
+        assert cfg.window == 32768  # the paper's largest window
+
+    def test_hicma_paper_dimensions(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert default_matrix_size() == 360_000
+        tiles = default_tile_sizes()
+        assert tiles[0] == 1200 and tiles[-1] == 6000
+        for tile in tiles:
+            assert 360_000 % tile == 0
+
+    def test_bench_conftest_dimensions(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        import benchmarks.conftest as bc
+
+        matrix, tiles, _mt = bc._fig4_dimensions()
+        assert matrix == 360_000 and 1200 in tiles
+        matrix5, node_tiles = bc._fig5_dimensions()
+        assert matrix5 == 360_000
+        assert sorted(node_tiles) == [1, 2, 4, 8, 16, 32]

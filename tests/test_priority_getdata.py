@@ -1,0 +1,75 @@
+"""Tests for priority-driven GET DATA ordering (§4.1/§4.3).
+
+"Upon receipt of the ACTIVATE message, the process will evaluate the
+relative priority of successor tasks ... and use these priorities to
+determine whether to request data immediately or defer it" — the comm
+thread drains the deferred GET DATA queue highest-priority-first, so data
+for critical-path tasks arrives sooner.
+"""
+
+import pytest
+
+from repro.config import scaled_platform
+from repro.runtime import ParsecContext, TaskGraph
+from repro.units import KiB, MiB
+
+
+def priority_graph(n_flows=6, size=2 * MiB):
+    """One producer task with several output flows; consumers on node 1
+    carry increasing priorities (flow i -> priority i)."""
+    g = TaskGraph()
+    producer = g.add_task(node=0, duration=1e-6, kind="producer")
+    consumers = []
+    for i in range(n_flows):
+        f = g.add_flow(producer, size)
+        c = g.add_task(
+            node=1, duration=1e-6, priority=float(i), inputs=[f], kind=f"c{i}"
+        )
+        consumers.append(c)
+    return g, consumers
+
+
+@pytest.mark.parametrize("backend", ["mpi", "lci"])
+class TestGetDataPriority:
+    def test_high_priority_consumers_finish_first(self, backend):
+        g, consumers = priority_graph()
+        ctx = ParsecContext(
+            scaled_platform(num_nodes=2, cores_per_node=8), backend=backend
+        )
+        finish_order = []
+        inner = ctx.on_task_done
+
+        def spy(task):
+            if task.kind.startswith("c"):
+                finish_order.append(task.priority)
+            inner(task)
+
+        ctx.on_task_done = spy
+        ctx.run(g, until=10.0)
+        # The deferral queue only orders requests that are pending together:
+        # a flow whose ACTIVATE arrived in an earlier aggregation batch can
+        # legitimately slip ahead.  Require a strongly priority-correlated
+        # order rather than an exact sort: the top-priority consumer is
+        # first, and the mean finishing position of the top half strictly
+        # precedes the bottom half's.
+        n = len(finish_order)
+        assert finish_order[0] == max(finish_order)
+        pos = {prio: i for i, prio in enumerate(finish_order)}
+        top = sorted(pos, reverse=True)[: n // 2]
+        bottom = sorted(pos)[: n // 2]
+        mean_top = sum(pos[p] for p in top) / len(top)
+        mean_bottom = sum(pos[p] for p in bottom) / len(bottom)
+        assert mean_top < mean_bottom
+
+    def test_priority_shifts_latency_distribution(self, backend):
+        """The lowest-priority flow must wait behind all the others."""
+        g, _ = priority_graph()
+        ctx = ParsecContext(
+            scaled_platform(num_nodes=2, cores_per_node=8),
+            backend=backend,
+            collect_traces=True,
+        )
+        stats = ctx.run(g, until=10.0)
+        lats = sorted(stats.flow_latencies)
+        # The slowest flow waited for ~all transfers; the fastest for one.
+        assert lats[-1] > 3 * lats[0]

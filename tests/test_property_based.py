@@ -1,0 +1,282 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hicma.lowrank import compress_dense, recompress
+from repro.hicma.ranks import RankModel
+from repro.hicma.dag import build_tlr_cholesky_graph, expected_task_count
+from repro.mpi.matching import Envelope, MatchEngine
+from repro.mpi.requests import RecvRequest
+from repro.runtime.node import binomial_tree
+from repro.sim import Simulator, Store, PriorityStore
+from repro.units import bytes_per_s_from_gbit, gbit_per_s
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=50))
+    def test_timeouts_fire_in_sorted_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def waiter(d):
+            yield sim.timeout(d)
+            fired.append(d)
+
+        for d in delays:
+            sim.process(waiter(d))
+        sim.run()
+        assert fired == sorted(delays)
+        assert sim.now == pytest.approx(max(delays))
+
+    @given(st.lists(st.integers(), min_size=0, max_size=100))
+    def test_store_is_fifo(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        for item in items:
+            store.try_put(item)
+        out = []
+        while True:
+            ok, item = store.try_get()
+            if not ok:
+                break
+            out.append(item)
+        assert out == items
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.integers()),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    def test_priority_store_orders_by_key_then_fifo(self, entries):
+        sim = Simulator()
+        store = PriorityStore(sim)
+        for prio, payload in entries:
+            store.try_put((prio, (prio, payload)))
+        out = []
+        while True:
+            ok, item = store.try_get()
+            if not ok:
+                break
+            out.append(item)
+        keys = [k for k, _p in out]
+        assert keys == sorted(keys)
+        # Stability: among equal keys, insertion order is preserved.
+        for key in set(keys):
+            got = [e for e in out if e[0] == key]
+            expect = [e for e in entries if e[0] == key]
+            assert got == expect
+
+
+class TestMatchingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["post", "arrive"]),
+                st.integers(0, 2),  # src
+                st.integers(0, 2),  # tag
+                st.booleans(),  # wildcard src (posts only)
+            ),
+            max_size=60,
+        )
+    )
+    def test_conservation_and_compatibility(self, ops):
+        """No message is lost or duplicated, and every match is compatible."""
+        sim = Simulator()
+        engine = MatchEngine()
+        matches = []
+        n_posts = 0
+        n_arrivals = 0
+        for op, src, tag, wild in ops:
+            if op == "post":
+                n_posts += 1
+                recv = RecvRequest(sim, None if wild else src, tag, 1 << 20)
+                env = engine.post_recv(recv)
+                if env is not None:
+                    matches.append((recv, env))
+            else:
+                n_arrivals += 1
+                env = Envelope(src=src, tag=tag, size=1, kind="eager")
+                recv = engine.arrive(env)
+                if recv is not None:
+                    matches.append((recv, env))
+        assert len(matches) + engine.posted_count == n_posts
+        assert len(matches) + engine.unexpected_count == n_arrivals
+        for recv, env in matches:
+            assert recv.src is None or recv.src == env.src
+            assert recv.tag is None or recv.tag == env.tag
+        # Nothing left unmatched that *could* match.
+        for env in engine.unexpected:
+            for recv in engine.posted:
+                assert not (
+                    (recv.src is None or recv.src == env.src)
+                    and (recv.tag is None or recv.tag == env.tag)
+                )
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=30))
+    def test_fifo_per_source_tag(self, payloads):
+        """Same-(src, tag) messages match posted receives in arrival order."""
+        sim = Simulator()
+        engine = MatchEngine()
+        for i, _ in enumerate(payloads):
+            engine.arrive(Envelope(src=0, tag=7, size=1, kind="eager", payload=i))
+        got = []
+        for _ in payloads:
+            recv = RecvRequest(sim, 0, 7, 1 << 20)
+            env = engine.post_recv(recv)
+            assert env is not None
+            got.append(env.payload)
+        assert got == list(range(len(payloads)))
+
+
+class TestLowRankProperties:
+    @given(
+        st.integers(4, 24),  # m
+        st.integers(4, 24),  # n
+        st.integers(1, 4),  # true rank
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_compression_error_bound(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k)) @ rng.standard_normal((k, n))
+        tol = 1e-9
+        lr = compress_dense(a, tol=tol)
+        err = np.linalg.norm(lr.to_dense() - a)
+        scale = np.linalg.norm(a) + 1.0
+        assert err <= 1e-6 * scale
+        assert lr.rank <= min(m, n, k + 1)
+
+    @given(st.integers(2, 20), st.integers(1, 5), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_recompression_never_increases_rank_needed(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((n, k))
+        v = rng.standard_normal((n, k))
+        # Duplicate the representation: rank 2k factors of a rank-k matrix.
+        lr = recompress(np.hstack([u, u]), np.hstack([v, -0.5 * v]), tol=1e-12)
+        assert lr.rank <= min(k, n)
+        expect = 0.5 * u @ v.T
+        assert np.allclose(lr.to_dense(), expect, atol=1e-8 * (1 + abs(expect).max()))
+
+
+class TestTreeProperties:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=64, unique=True))
+    def test_binomial_tree_covers_each_node_once(self, nodes):
+        tree = binomial_tree(nodes)
+        seen = []
+
+        def walk(spec):
+            seen.append(spec[0])
+            for child in spec[1]:
+                walk(child)
+
+        walk(tree)
+        assert sorted(seen) == sorted(nodes)
+        assert seen[0] == nodes[0]
+
+    @given(st.integers(1, 256))
+    def test_binomial_tree_depth_logarithmic(self, n):
+        tree = binomial_tree(list(range(n)))
+
+        def depth(spec):
+            return 1 + max((depth(c) for c in spec[1]), default=0)
+
+        assert depth(tree) <= int(np.ceil(np.log2(n))) + 1
+
+
+class TestRankModelProperties:
+    @given(st.integers(2, 400), st.integers(100, 10_000), st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_bounds_and_decay(self, nt, tile, maxrank):
+        model = RankModel(nt, tile, maxrank)
+        prev = None
+        for d in range(1, min(nt, 20)):
+            r = model.rank(0, d)
+            assert 1 <= r <= maxrank
+            if prev is not None:
+                assert r <= prev
+            prev = r
+
+    @given(st.integers(2, 50), st.integers(100, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry(self, nt, tile):
+        model = RankModel(nt, tile)
+        for d in range(1, min(nt, 8)):
+            assert model.rank(0, d) == model.rank(d, 0)
+
+
+class TestDagProperties:
+    @given(st.integers(1, 8), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_cholesky_graph_valid_for_any_shape(self, nt, num_nodes):
+        g = build_tlr_cholesky_graph(nt, 256, num_nodes=num_nodes)
+        g.validate(num_nodes=num_nodes)
+        assert g.num_tasks == expected_task_count(nt)
+
+    @given(st.integers(2, 7))
+    @settings(max_examples=10, deadline=None)
+    def test_two_flow_conserves_volume(self, nt):
+        g1 = build_tlr_cholesky_graph(nt, 512, num_nodes=4, two_flow=False)
+        g2 = build_tlr_cholesky_graph(nt, 512, num_nodes=4, two_flow=True)
+        assert g2.total_remote_bytes() == g1.total_remote_bytes()
+
+
+class TestUnitsProperties:
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_gbit_round_trip(self, gbit):
+        assert gbit_per_s(bytes_per_s_from_gbit(gbit)) == pytest.approx(gbit)
+
+
+class TestRuntimeExecutionProperties:
+    """Random layered DAGs must complete on both backends with identical
+    task counts — communication management must never change *what* runs."""
+
+    @staticmethod
+    def _random_graph(draw_spec):
+        from repro.runtime import TaskGraph
+
+        layer_sizes, placements, fan = draw_spec
+        g = TaskGraph()
+        prev_flows = []
+        pi = 0
+        for li, size in enumerate(layer_sizes):
+            new_flows = []
+            for i in range(size):
+                inputs = []
+                if prev_flows:
+                    take = min(fan, len(prev_flows))
+                    inputs = [prev_flows[(i + j) % len(prev_flows)] for j in range(take)]
+                node = placements[pi % len(placements)]
+                pi += 1
+                t = g.add_task(node=node, duration=2e-6, inputs=set(inputs), kind=f"l{li}")
+                new_flows.append(g.add_flow(t, 16 * 1024))
+            prev_flows = new_flows
+        return g
+
+    @given(
+        st.tuples(
+            st.lists(st.integers(1, 4), min_size=1, max_size=4),  # layers
+            st.lists(st.integers(0, 2), min_size=1, max_size=8),  # placements
+            st.integers(1, 2),  # fan-in
+        )
+    )
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_dags_complete_on_both_backends(self, spec):
+        from repro.config import scaled_platform
+        from repro.runtime import ParsecContext
+
+        counts = {}
+        for backend in ("mpi", "lci"):
+            g = self._random_graph(spec)
+            ctx = ParsecContext(
+                scaled_platform(num_nodes=3, cores_per_node=2), backend=backend
+            )
+            stats = ctx.run(g, until=10.0)
+            counts[backend] = (stats.tasks_executed, g.num_tasks)
+            assert stats.tasks_executed == g.num_tasks
+        assert counts["mpi"] == counts["lci"]

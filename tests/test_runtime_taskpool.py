@@ -1,0 +1,138 @@
+"""Tests for the task-graph model."""
+
+import pytest
+
+from repro.errors import RuntimeBackendError
+from repro.runtime import TaskGraph
+from repro.runtime.node import binomial_tree
+from repro.units import KiB
+
+
+class TestTaskGraphConstruction:
+    def test_add_task_and_flow(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=1e-6)
+        f = g.add_flow(a, 4 * KiB)
+        b = g.add_task(node=1, duration=1e-6, inputs=[f])
+        assert g.num_tasks == 2
+        assert g.num_flows == 1
+        assert g.flows[f].consumers == (b,)
+        assert g.tasks[a].outputs == (f,)
+        assert g.tasks[b].inputs == (f,)
+
+    def test_unknown_input_flow_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(RuntimeBackendError, match="unknown input flow"):
+            g.add_task(node=0, duration=0, inputs=[99])
+
+    def test_unknown_producer_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(RuntimeBackendError, match="unknown"):
+            g.add_flow(5, 100)
+
+    def test_negative_duration_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(RuntimeBackendError, match="negative duration"):
+            g.add_task(node=0, duration=-1.0)
+
+    def test_negative_flow_size_rejected(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=0)
+        with pytest.raises(RuntimeBackendError, match="negative size"):
+            g.add_flow(a, -5)
+
+    def test_source_tasks(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=0)
+        f = g.add_flow(a, 1)
+        g.add_task(node=0, duration=0, inputs=[f])
+        assert g.source_tasks() == [a]
+
+    def test_consumer_nodes(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=0)
+        f = g.add_flow(a, 1)
+        g.add_task(node=1, duration=0, inputs=[f])
+        g.add_task(node=2, duration=0, inputs=[f])
+        g.add_task(node=1, duration=0, inputs=[f])
+        assert g.consumer_nodes(g.flows[f]) == {1, 2}
+
+    def test_total_remote_bytes(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=0)
+        f = g.add_flow(a, 1000)
+        g.add_task(node=0, duration=0, inputs=[f])  # local: free
+        g.add_task(node=1, duration=0, inputs=[f])
+        g.add_task(node=2, duration=0, inputs=[f])
+        assert g.total_remote_bytes() == 2000
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(RuntimeBackendError, match="empty"):
+            TaskGraph().validate()
+
+    def test_bad_node_placement_rejected(self):
+        g = TaskGraph()
+        g.add_task(node=5, duration=0)
+        with pytest.raises(RuntimeBackendError, match="outside"):
+            g.validate(num_nodes=2)
+
+    def test_valid_dag_passes(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=0)
+        f = g.add_flow(a, 1)
+        g.add_task(node=0, duration=0, inputs=[f])
+        g.validate(num_nodes=1)
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=0)
+        fa = g.add_flow(a, 1)
+        b = g.add_task(node=0, duration=0, inputs=[fa])
+        fb = g.add_flow(b, 1)
+        # Manually wire a back-edge a <- b to create a cycle.
+        g.tasks[a].inputs = (fb,)
+        g.flows[fb].consumers = (a,)
+        with pytest.raises(RuntimeBackendError, match="no source|cycle"):
+            g.validate()
+
+
+class TestBinomialTree:
+    def test_single_node(self):
+        assert binomial_tree([7]) == (7, ())
+
+    def test_two_nodes(self):
+        assert binomial_tree([0, 1]) == (0, ((1, ()),))
+
+    def test_four_nodes_structure(self):
+        root, children = binomial_tree([0, 1, 2, 3])
+        assert root == 0
+        assert [c[0] for c in children] == [1, 2]
+        # Node 2's subtree contains 3.
+        assert children[1] == (2, ((3, ()),))
+
+    def test_all_members_covered_once(self):
+        nodes = list(range(13))
+        tree = binomial_tree(nodes)
+        seen = []
+
+        def walk(spec):
+            seen.append(spec[0])
+            for child in spec[1]:
+                walk(child)
+
+        walk(tree)
+        assert sorted(seen) == nodes
+
+    def test_depth_is_logarithmic(self):
+        tree = binomial_tree(list(range(32)))
+
+        def depth(spec):
+            return 1 + max((depth(c) for c in spec[1]), default=0)
+
+        assert depth(tree) == 6  # ceil(log2(32)) + 1 levels of nodes
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuntimeBackendError):
+            binomial_tree([])

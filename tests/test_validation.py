@@ -1,0 +1,63 @@
+"""Simulator self-validation: measured behaviour vs closed-form models."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationResult,
+    predicted_one_way,
+    validate_compute_bound_makespan,
+    validate_netpipe_bandwidth,
+    validate_netpipe_latency,
+)
+from repro.config import NetworkConfig
+from repro.units import KiB, MiB
+
+
+class TestValidationResult:
+    def test_deviation_and_ok(self):
+        r = ValidationResult("x", predicted=100.0, measured=104.0, tolerance=0.05)
+        assert r.deviation == pytest.approx(0.04)
+        assert r.ok
+
+    def test_failing_case(self):
+        r = ValidationResult("x", predicted=100.0, measured=120.0, tolerance=0.05)
+        assert not r.ok
+        assert "FAIL" in r.summary()
+
+    def test_zero_prediction(self):
+        r = ValidationResult("x", predicted=0.0, measured=1.0, tolerance=0.1)
+        assert not r.ok
+
+
+class TestNetpipeAgainstClosedForm:
+    @pytest.mark.parametrize("size", [64, 4 * KiB, 256 * KiB, 4 * MiB])
+    def test_latency_matches(self, size):
+        r = validate_netpipe_latency(size)
+        assert r.ok, r.summary()
+
+    @pytest.mark.parametrize("size", [64 * KiB, 4 * MiB])
+    def test_bandwidth_matches(self, size):
+        r = validate_netpipe_bandwidth(size)
+        assert r.ok, r.summary()
+
+    def test_custom_network_config(self):
+        slow = NetworkConfig(bandwidth=1.25e9, wire_latency=5e-6)
+        r = validate_netpipe_latency(1 * MiB, slow)
+        assert r.ok, r.summary()
+        # The closed form itself must reflect the slower wire.
+        assert predicted_one_way(1 * MiB, slow) > predicted_one_way(1 * MiB)
+
+
+class TestRuntimeAgainstClosedForm:
+    def test_compute_bound_makespan(self):
+        r = validate_compute_bound_makespan(num_tasks=64, workers=8)
+        assert r.ok, r.summary()
+
+    def test_single_wave(self):
+        r = validate_compute_bound_makespan(num_tasks=8, workers=8)
+        assert r.ok, r.summary()
+
+    def test_uneven_last_wave(self):
+        # 65 tasks on 8 workers: 9 waves.
+        r = validate_compute_bound_makespan(num_tasks=65, workers=8)
+        assert r.ok, r.summary()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Generate docs/api.md: a compact API reference from the package's
+docstrings (no external dependencies — offline-friendly).
+
+Usage:  python tools/gen_api_docs.py [output]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def first_line(doc: str | None) -> str:
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].rstrip(".")
+
+
+def signature(node: ast.FunctionDef) -> str:
+    args = []
+    a = node.args
+    for arg in a.posonlyargs + a.args:
+        args.append(arg.arg)
+    if a.vararg:
+        args.append("*" + a.vararg.arg)
+    for arg in a.kwonlyargs:
+        args.append(arg.arg)
+    if a.kwarg:
+        args.append("**" + a.kwarg.arg)
+    # Drop self/cls for readability.
+    if args and args[0] in ("self", "cls"):
+        args = args[1:]
+    return f"({', '.join(args)})"
+
+
+def render_module(path: pathlib.Path) -> list[str]:
+    rel = path.relative_to(SRC.parent)
+    modname = str(rel.with_suffix("")).replace("/", ".")
+    if modname.endswith(".__init__"):
+        modname = modname[: -len(".__init__")]
+    tree = ast.parse(path.read_text())
+    lines = [f"### `{modname}`", ""]
+    moddoc = first_line(ast.get_docstring(tree))
+    if moddoc:
+        lines += [moddoc + ".", ""]
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            lines.append(f"- **class `{node.name}`** — {first_line(ast.get_docstring(node))}")
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and not item.name.startswith("_")
+                ):
+                    lines.append(
+                        f"  - `{item.name}{signature(item)}` — "
+                        f"{first_line(ast.get_docstring(item))}"
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and not node.name.startswith("_"):
+            lines.append(
+                f"- `{node.name}{signature(node)}` — {first_line(ast.get_docstring(node))}"
+            )
+    lines.append("")
+    return lines
+
+
+def main(out: str) -> None:
+    lines = [
+        "# API reference",
+        "",
+        "Auto-generated from docstrings by `tools/gen_api_docs.py` — do not",
+        "edit by hand; re-run the script after changing public APIs.",
+        "",
+    ]
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name.startswith("_") and path.name != "__init__.py":
+            continue
+        lines += render_module(path)
+    pathlib.Path(out).write_text("\n".join(lines))
+    print(f"wrote {out} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "docs/api.md")
