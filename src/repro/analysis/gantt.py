@@ -1,19 +1,21 @@
 """Worker-occupancy timelines (ASCII Gantt) from execution traces.
 
-With ``ParsecContext(..., collect_traces=True)`` every task execution is
-recorded as a ``task_exec`` trace event keyed ``(node, worker)``.  This
-module turns those into per-worker busy intervals and renders an ASCII
-timeline — the quickest way to *see* whether a run is compute-bound (solid
-bars) or starved waiting on communication (sparse bars), which is the
-paper's whole story in one picture.
+With ``ParsecContext(..., collect_traces=True)`` (or ``observability=True``)
+every task execution is emitted as a ``task_exec`` event keyed
+``(node, worker)`` on the :mod:`repro.obs` bus.  This module turns those
+into per-worker busy intervals and renders an ASCII timeline — the quickest
+way to *see* whether a run is compute-bound (solid bars) or starved waiting
+on communication (sparse bars), which is the paper's whole story in one
+picture.  Functions accept the bus, its memory sink, or the legacy
+:class:`~repro.sim.trace.TraceRecorder` facade.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.sim.trace import TraceRecorder
+from repro.obs.sinks import memory_of
 
 __all__ = ["Interval", "worker_intervals", "render_gantt", "occupancy"]
 
@@ -32,10 +34,10 @@ class Interval:
         return self.start + self.duration
 
 
-def worker_intervals(trace: TraceRecorder) -> dict[tuple[int, int], list[Interval]]:
+def worker_intervals(trace: Any) -> dict[tuple[int, int], list[Interval]]:
     """Group ``task_exec`` events into per-(node, worker) interval lists."""
     out: dict[tuple[int, int], list[Interval]] = {}
-    for evt in trace.by_kind("task_exec"):
+    for evt in memory_of(trace).by_kind("task_exec"):
         kind, duration = evt.info
         out.setdefault(evt.key, []).append(Interval(evt.time, duration, kind))
     for intervals in out.values():
@@ -61,7 +63,7 @@ def occupancy(
 
 
 def render_gantt(
-    trace: TraceRecorder,
+    trace: Any,
     width: int = 72,
     t_end: Optional[float] = None,
     max_workers: int = 32,

@@ -11,19 +11,21 @@ Fig. 1:
 - ``transfer``  — GET DATA handling → data arrival callback at the
   destination (handshake + wire + completion processing).
 
-Enable with ``ParsecContext(..., collect_traces=True)``; the runtime then
-records :class:`~repro.sim.trace.TraceEvent` rows keyed ``(flow, dst)``
-which :func:`breakdown` joins into :class:`FlowBreakdown` records.
+Enable with ``ParsecContext(..., collect_traces=True)`` (or
+``observability=True``); the runtime then emits events keyed ``(flow, dst)``
+on the :mod:`repro.obs` bus which :func:`breakdown` joins into
+:class:`FlowBreakdown` records.  ``breakdown`` accepts the bus, its memory
+sink, or the legacy :class:`~repro.sim.trace.TraceRecorder` facade.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Iterable
 
 import numpy as np
 
-from repro.sim.trace import TraceRecorder
+from repro.obs.sinks import memory_of
 
 __all__ = ["FlowBreakdown", "breakdown", "phase_summary"]
 
@@ -47,26 +49,32 @@ class FlowBreakdown:
         return self.activate + self.getdata + self.transfer
 
 
-def breakdown(trace: TraceRecorder) -> list[FlowBreakdown]:
+def breakdown(trace: Any) -> list[FlowBreakdown]:
     """Join trace events into per-(flow, dst) phase timings.
 
-    Incomplete flows (e.g. cut off at run end) are skipped.
+    ``trace`` may be a :class:`~repro.obs.bus.ObsBus`, its memory sink, or a
+    :class:`~repro.sim.trace.TraceRecorder`.  Uses the per-kind indexes
+    (O(phase events), not O(all events)).  Incomplete flows (e.g. cut off at
+    run end) are skipped.  A flow's ``activate_handoff`` is always its first
+    recorded phase, so iterating that index preserves first-occurrence order;
+    duplicate stamps keep the last one, matching the historical join.
     """
-    by_key: dict[tuple, dict[str, float]] = {}
-    for evt in trace.events:
-        if evt.kind in PHASES:
-            by_key.setdefault(evt.key, {})[evt.kind] = evt.time
+    idx = memory_of(trace)
+    # Per-kind {key: time} maps; dict assignment keeps the last duplicate.
+    stamps = {kind: {e.key: e.time for e in idx.by_kind(kind)} for kind in PHASES}
+    handoff = stamps[PHASES[0]]
     out = []
-    for (flow, dst), stamps in by_key.items():
-        if not all(k in stamps for k in PHASES):
+    for key, handoff_t in handoff.items():
+        if not all(key in stamps[k] for k in PHASES[1:]):
             continue
+        flow, dst = key
         out.append(
             FlowBreakdown(
                 flow=flow,
                 dst=dst,
-                activate=stamps["activate_cb"] - stamps["activate_handoff"],
-                getdata=stamps["getdata_cb"] - stamps["activate_cb"],
-                transfer=stamps["data_arrival"] - stamps["getdata_cb"],
+                activate=stamps["activate_cb"][key] - handoff_t,
+                getdata=stamps["getdata_cb"][key] - stamps["activate_cb"][key],
+                transfer=stamps["data_arrival"][key] - stamps["getdata_cb"][key],
             )
         )
     return out

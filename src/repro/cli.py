@@ -5,9 +5,10 @@ Commands
 ``pingpong``   run the §6.2 bandwidth benchmark for one fragment size
 ``overlap``    run the §6.3 overlap benchmark for one fragment size
 ``hicma``      run one §6.4 TLR Cholesky configuration
-``netpipe``    raw fabric ping-pong baseline for a list of sizes
-``compare``    MPI vs LCI side-by-side on the ping-pong benchmark
-``info``       print the calibrated platform constants
+``netpipe``      raw fabric ping-pong baseline for a list of sizes
+``compare``      MPI vs LCI side-by-side on the ping-pong benchmark
+``trace-export`` run a small job with observability on, export the trace
+``info``         print the calibrated platform constants
 """
 
 from __future__ import annotations
@@ -87,6 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     va = sub.add_parser("validate", help="simulator self-checks vs closed forms")
     va.add_argument("--size", type=_size, default=_size("1M"))
+
+    te = sub.add_parser(
+        "trace-export",
+        help="run a small TLR Cholesky job with observability on and export "
+        "the event trace (Chrome about://tracing JSON or CSV)",
+    )
+    te.add_argument("--backend", choices=["mpi", "lci"], default="lci")
+    te.add_argument("--matrix", type=int, default=7200)
+    te.add_argument("--tile", type=int, default=1200)
+    te.add_argument("--nodes", type=int, default=2)
+    te.add_argument("--format", choices=["chrome", "csv"], default="chrome")
+    te.add_argument("--out", metavar="PATH", default=None,
+                    help="output file (default: trace.json / trace.csv)")
 
     sub.add_parser("info", help="print calibrated platform constants")
     return parser
@@ -192,6 +206,38 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_trace_export(args) -> int:
+    """Run a small HiCMA configuration with the obs bus on and export it."""
+    from repro.config import scaled_platform
+    from repro.hicma.dag import build_tlr_cholesky_graph
+    from repro.hicma.ranks import RankModel
+    from repro.hicma.timing import KernelTimeModel
+    from repro.obs import ChromeTraceSink, CsvSink
+    from repro.runtime.context import ParsecContext
+
+    nt = max(2, args.matrix // args.tile)
+    platform = scaled_platform(num_nodes=args.nodes, cores_per_node=4)
+    graph = build_tlr_cholesky_graph(
+        nt, args.tile, num_nodes=args.nodes,
+        rank_model=RankModel(nt, args.tile),
+        time_model=KernelTimeModel(platform.compute),
+    )
+    ctx = ParsecContext(platform, backend=args.backend, observability=True)
+    stats = ctx.run(graph, until=36_000.0)
+    sink = ChromeTraceSink() if args.format == "chrome" else CsvSink()
+    ctx.obs.export(sink)
+    out = args.out or ("trace.json" if args.format == "chrome" else "trace.csv")
+    sink.write(out)
+    n_events = len(ctx.obs.memory)
+    print(f"trace-export[{args.backend}] N={args.matrix} tile={args.tile} "
+          f"nodes={args.nodes}: TTS={stats.makespan:.3f}s "
+          f"{stats.tasks_executed} tasks, {n_events} events")
+    for name, total in sorted(stats.obs_counters.items()):
+        print(f"  {name:<28} {total}")
+    print(f"  wrote {out}")
+    return 0
+
+
 def cmd_info(args) -> int:
     """Dump every calibrated platform constant."""
     import dataclasses
@@ -264,6 +310,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "validate": cmd_validate,
+    "trace-export": cmd_trace_export,
     "info": cmd_info,
 }
 

@@ -31,6 +31,7 @@ from repro.lci.completion import CompletionQueue, CompletionRecord, Synchronizer
 from repro.lci.constants import LCI_ERR_RETRY, LCI_OK
 from repro.network.fabric import Fabric
 from repro.network.message import MessageClass, WireMessage
+from repro.obs.bus import ObsBus
 from repro.sim.core import Event, Simulator
 
 __all__ = ["LciDevice", "LciWorld"]
@@ -48,10 +49,17 @@ Completion = Any  # Synchronizer | CompletionQueue | Callable | None
 class LciWorld:
     """All LCI devices of a simulated job (one per fabric node)."""
 
-    def __init__(self, sim: Simulator, fabric: Fabric, costs: Optional[LciCosts] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        costs: Optional[LciCosts] = None,
+        obs: Optional[ObsBus] = None,
+    ):
         self.sim = sim
         self.fabric = fabric
         self.costs = costs or LciCosts()
+        self.obs = obs if obs is not None else sim.obs
         self.devices = [LciDevice(self, node) for node in range(fabric.num_nodes)]
 
     @property
@@ -103,6 +111,17 @@ class LciDevice:
         #: One-sided put notification handler (for :meth:`putd` targets).
         self.put_handler: Optional[Callable[[CompletionRecord], None]] = None
         self._waiters: list[Event] = []
+        # Back-pressure / pool-occupancy instruments (§5.2): every
+        # LCI_ERR_RETRY is counted per operation class, and the TX/RX packet
+        # pools are sampled on each allocation.
+        obs = world.obs
+        self._c_retry_sendb = obs.counter("lci.retry.sendb", node)
+        self._c_retry_sendd = obs.counter("lci.retry.sendd", node)
+        self._c_retry_putd = obs.counter("lci.retry.putd", node)
+        self._c_retry_recvd = obs.counter("lci.retry.recvd", node)
+        self._c_am_stall = obs.counter("lci.rx_am_stalls", node)
+        self._h_tx_pool = obs.histogram("lci.tx_pool_used", node)
+        self._h_rx_pool = obs.histogram("lci.rx_pool_used", node)
         world.fabric.register_handler(node, "lci", self._on_wire)
 
     # ------------------------------------------------------------------
@@ -173,8 +192,10 @@ class LciDevice:
                 f"sendb of {size} B exceeds buffered limit {self.costs.buffered_max}"
             )
         if self.tx_packets_free <= 0:
+            self._c_retry_sendb.inc()
             return LCI_ERR_RETRY
         self.tx_packets_free -= 1
+        self._h_tx_pool.observe(self.costs.packet_pool_size - self.tx_packets_free)
         yield self.sim.timeout(
             self.costs.buffered_send + size * self.costs.copy_per_byte
         )
@@ -212,6 +233,7 @@ class LciDevice:
         one side cannot deadlock against the other.
         """
         if self.send_slots_free <= 0:
+            self._c_retry_sendd.inc()
             return LCI_ERR_RETRY
         self.send_slots_free -= 1
         op = _DirectOp(dst, tag, size, data, comp, user_ctx)
@@ -250,6 +272,7 @@ class LciDevice:
         :attr:`put_handler`.  LCI_ERR_RETRY when no send slot is free.
         """
         if self.send_slots_free <= 0:
+            self._c_retry_putd.inc()
             return LCI_ERR_RETRY
         self.send_slots_free -= 1
         op = _DirectOp(dst, tag, size, data, comp, user_ctx)
@@ -282,6 +305,7 @@ class LciDevice:
     ) -> Generator[Any, Any, int]:
         """Post a direct receive for (src, tag); LCI_ERR_RETRY when no slot."""
         if self.recv_slots_free <= 0:
+            self._c_retry_recvd.inc()
             return LCI_ERR_RETRY
         self.recv_slots_free -= 1
         op = _DirectOp(src, tag, size, None, comp, user_ctx)
@@ -320,6 +344,7 @@ class LciDevice:
         while self._rx_am and self.rx_packets_free > 0:
             msg = self._rx_am.popleft()
             self.rx_packets_free -= 1
+            self._h_rx_pool.observe(self.costs.packet_pool_size - self.rx_packets_free)
             yield self.sim.timeout(
                 self.costs.completion_drain + self.costs.refill_recv
             )
@@ -336,6 +361,10 @@ class LciDevice:
                 # thread driving progress (the LCI progress thread).
                 yield from result
             n += 1
+        if self._rx_am and self.rx_packets_free <= 0:
+            # Hardware receive-queue depletion (§5.2): deliveries stall
+            # until a consumer frees an RX packet.
+            self._c_am_stall.inc()
         return n
 
     def free_rx_packet(self) -> None:

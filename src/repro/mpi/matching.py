@@ -49,6 +49,9 @@ class MatchEngine:
         self.unexpected: deque[Envelope] = deque()
         #: Queue entries walked since last reset — feeds the match-cost model.
         self.walked = 0
+        #: High-watermarks, sampled by the observability layer at run end.
+        self.max_posted = 0
+        self.max_unexpected = 0
 
     def post_recv(self, recv: RecvRequest) -> Optional[Envelope]:
         """Post a receive; returns the matching unexpected envelope if one
@@ -59,6 +62,8 @@ class MatchEngine:
                 del self.unexpected[i]
                 return env
         self.posted.append(recv)
+        if len(self.posted) > self.max_posted:
+            self.max_posted = len(self.posted)
         return None
 
     def arrive(self, env: Envelope) -> Optional[RecvRequest]:
@@ -70,6 +75,8 @@ class MatchEngine:
                 del self.posted[i]
                 return recv
         self.unexpected.append(env)
+        if len(self.unexpected) > self.max_unexpected:
+            self.max_unexpected = len(self.unexpected)
         return None
 
     def cancel(self, recv: RecvRequest) -> bool:

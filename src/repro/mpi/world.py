@@ -39,6 +39,7 @@ from repro.mpi.requests import (
 )
 from repro.network.fabric import Fabric
 from repro.network.message import MessageClass, WireMessage
+from repro.obs.bus import NULL_BUS, ObsBus
 from repro.sim.core import Event, Simulator
 from repro.units import KiB
 
@@ -68,11 +69,13 @@ class MpiWorld:
         fabric: Fabric,
         costs: Optional[MpiCosts] = None,
         allow_overtaking: bool = False,
+        obs: Optional[ObsBus] = None,
     ):
         self.sim = sim
         self.fabric = fabric
         self.costs = costs or MpiCosts()
         self.allow_overtaking = allow_overtaking
+        self.obs = obs if obs is not None else sim.obs
         self.ranks = [
             MpiRank(self, rank) for rank in range(fabric.num_nodes)
         ]
@@ -98,6 +101,14 @@ class MpiRank:
         self._waiters: list[Event] = []
         self._locked = False
         self._lock_queue: deque[Event] = deque()
+        # Per-rank instruments (null-bus: shared no-op singletons).
+        obs = world.obs
+        self.obs = obs
+        self._c_eager = obs.counter("mpi.eager_sends", rank)
+        self._c_rndv = obs.counter("mpi.rndv_sends", rank)
+        self._c_unexpected = obs.counter("mpi.unexpected_msgs", rank)
+        self._h_unexp_depth = obs.histogram("mpi.unexpected_depth", rank)
+        self._h_posted_depth = obs.histogram("mpi.posted_depth", rank)
         world.fabric.register_handler(rank, "mpi", self._on_wire)
 
     # ------------------------------------------------------------------
@@ -169,6 +180,11 @@ class MpiRank:
             sreq = SendRequest(self.sim, dst, tag, size, payload)
             if size <= self.costs.rendezvous_threshold:
                 sreq.protocol = "eager"
+                self._c_eager.inc()
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "mpi_eager_send", self.rank, key=(self.rank, dst, tag), info=size
+                    )
                 yield self.sim.timeout(
                     self.costs.eager_send + size * self.costs.eager_copy_per_byte
                 )
@@ -192,6 +208,11 @@ class MpiRank:
                 sreq._complete()
             else:
                 sreq.protocol = "rndv"
+                self._c_rndv.inc()
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "mpi_rndv_rts", self.rank, key=(self.rank, dst, tag), info=size
+                    )
                 self._sends[sreq.req_id] = sreq
                 yield self.sim.timeout(self.costs.post_request)
                 self.world.fabric.send(
@@ -224,6 +245,8 @@ class MpiRank:
             env = self.match.post_recv(rreq)
             if env is not None:
                 yield from self._match_found(rreq, env)
+            else:
+                self._h_posted_depth.observe(self.match.posted_count)
             return rreq
         finally:
             self._release()
@@ -390,6 +413,7 @@ class MpiRank:
             if rreq is not None:
                 yield from self._match_found(rreq, env)
             else:
+                self._note_unexpected()
                 # Unexpected eager: copy into a temporary buffer now.
                 yield self.sim.timeout(env.size * self.costs.eager_copy_per_byte)
         elif kind == "rts":
@@ -400,10 +424,17 @@ class MpiRank:
             rreq = self.match.arrive(env)
             if rreq is not None:
                 yield from self._match_found(rreq, env)
+            else:
+                self._note_unexpected()
         elif kind == "cts":
             sreq = self._sends.pop(p["sreq"], None)
             if sreq is None:
                 raise MpiError(f"CTS for unknown send request {p['sreq']}")
+            if self.obs.enabled:
+                self.obs.emit(
+                    "mpi_rndv_cts", self.rank,
+                    key=(sreq.dst, self.rank, sreq.tag), info=sreq.size,
+                )
             yield self.sim.timeout(self.costs.rendezvous_ctrl + self.costs.post_request)
             deliver = self.world.fabric.send(
                 WireMessage(
@@ -427,6 +458,11 @@ class MpiRank:
             rreq = self._rndv_recvs.pop(p["rreq"], None)
             if rreq is None:
                 raise MpiError(f"rendezvous data for unknown recv {p['rreq']}")
+            if self.obs.enabled:
+                self.obs.emit(
+                    "mpi_rndv_data", self.rank,
+                    key=(msg.src, self.rank, p.get("size")), info=p["size"],
+                )
             rreq.recv_size = p["size"]
             rreq.payload = p["data"]
             rreq._complete()
@@ -460,6 +496,11 @@ class MpiRank:
                     payload={"kind": "cts", "sreq": env.sreq_id, "rreq": rreq.req_id},
                 )
             )
+
+    def _note_unexpected(self) -> None:
+        """Sample the unexpected-message queue after an unmatched arrival."""
+        self._c_unexpected.inc()
+        self._h_unexp_depth.observe(self.match.unexpected_count)
 
     def _complete_send(self, sreq: SendRequest) -> None:
         sreq._complete()

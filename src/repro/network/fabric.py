@@ -8,6 +8,7 @@ constant memory-copy latency.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional
 
 from repro.config import NetworkConfig
@@ -15,6 +16,7 @@ from repro.errors import NetworkError
 from repro.network.message import MessageClass, WireMessage
 from repro.network.nic import NicState
 from repro.network.topology import FatTreeTopology
+from repro.obs.bus import NULL_BUS, ObsBus
 from repro.sim.core import Simulator
 from repro.units import US
 
@@ -24,12 +26,24 @@ Handler = Callable[[WireMessage], None]
 
 
 class Fabric:
-    """A cluster interconnect connecting ``num_nodes`` nodes."""
+    """A cluster interconnect connecting ``num_nodes`` nodes.
+
+    With an enabled observability bus every injected message is emitted as a
+    ``wire_msg`` event and per-class byte/backlog histograms are maintained;
+    with the (default) null bus the instrumentation costs one attribute read
+    per send.
+    """
 
     #: Delivery latency of a loopback (shared-memory) message.
     LOOPBACK_LATENCY = 0.4 * US
 
-    def __init__(self, sim: Simulator, num_nodes: int, cfg: Optional[NetworkConfig] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        cfg: Optional[NetworkConfig] = None,
+        obs: Optional[ObsBus] = None,
+    ):
         if num_nodes <= 0:
             raise NetworkError("fabric needs at least one node")
         self.sim = sim
@@ -44,16 +58,38 @@ class Fabric:
         self._handlers: dict[tuple[int, str], Handler] = {}
         # Cache per (src,dst) base latency.
         self._lat_cache: dict[tuple[int, int], float] = {}
-        #: When set, every injected message is appended here (diagnostics /
-        #: protocol-walkthrough tests).  Off by default: it retains every
-        #: WireMessage for the run's lifetime.
-        self.message_log: Optional[list[WireMessage]] = None
+        self._set_obs(obs if obs is not None else sim.obs)
+        #: Deprecated raw-WireMessage log — see :meth:`enable_message_log`.
+        self.message_log: Optional[list[WireMessage]] = None  # obs-allow-adhoc
+
+    def _set_obs(self, obs) -> None:
+        """Bind the bus and (re)cache the fabric's instruments."""
+        self.obs = obs
+        self._c_msgs = obs.counter("net.wire_msgs")
+        self._h_bytes = obs.histogram("net.msg_bytes")
+        self._h_tx_backlog = obs.histogram("net.tx_backlog_s")
 
     def enable_message_log(self) -> list[WireMessage]:
-        """Start recording every injected message; returns the log list."""
-        if self.message_log is None:
-            self.message_log = []
-        return self.message_log
+        """Deprecated: start recording every injected WireMessage.
+
+        New code should attach a :mod:`repro.obs` sink (or query the bus's
+        memory index for ``wire_msg`` events) instead.  The shim upgrades a
+        null bus to a private enabled one so ``wire_msg`` events flow, and
+        still returns the raw-object list for legacy callers.
+        """
+        warnings.warn(
+            "Fabric.enable_message_log is deprecated; use the repro.obs bus "
+            "(wire_msg events / net.* instruments) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if not self.obs.enabled:
+            bus = ObsBus()
+            bus.bind_clock(self.sim)
+            self._set_obs(bus)
+        if self.message_log is None:  # obs-allow-adhoc
+            self.message_log = []  # obs-allow-adhoc
+        return self.message_log  # obs-allow-adhoc
 
     def register_handler(self, node: int, channel: str, handler: Handler) -> None:
         """Install the delivery handler for (node, channel)."""
@@ -87,8 +123,8 @@ class Fabric:
             )
         now = self.sim.now
         msg.inject_time = now
-        if self.message_log is not None:
-            self.message_log.append(msg)
+        if self.message_log is not None:  # obs-allow-adhoc
+            self.message_log.append(msg)  # obs-allow-adhoc
         if msg.src == msg.dst:
             depart = now
             deliver = now + self.LOOPBACK_LATENCY
@@ -98,6 +134,17 @@ class Fabric:
             deliver = self.nics[msg.dst].eject(now, arrival, msg.size, msg.msg_class)
         msg.depart_time = depart
         msg.deliver_time = deliver
+        if self.obs.enabled:
+            self.obs.emit(
+                "wire_msg",
+                msg.src,
+                key=(msg.src, msg.dst),
+                info=(msg.channel, msg.msg_class.name, msg.size, deliver - now),
+                time=now,
+            )
+            self._c_msgs.inc()
+            self._h_bytes.observe(msg.size)
+            self._h_tx_backlog.observe(depart - now)
         self.sim.call_later(deliver - now, self._deliver, handler, msg)
         return deliver
 

@@ -57,6 +57,19 @@ class NicState:
         """Time the wire is occupied by a message of ``size`` bytes."""
         return max(size / self.cfg.bandwidth, self.cfg.message_gap)
 
+    def backlog(self, now: float) -> dict[str, float]:
+        """Outstanding busy time (seconds) per direction/class at ``now``.
+
+        The channel-occupancy signal the observability layer samples: how
+        far ahead of real time each virtual channel is committed.
+        """
+        return {
+            "tx_data": max(0.0, self.tx_data_busy - now),
+            "tx_ctrl": max(0.0, self.tx_ctrl_busy - now),
+            "rx_data": max(0.0, self.rx_data_busy - now),
+            "rx_ctrl": max(0.0, self.rx_ctrl_busy - now),
+        }
+
     def inject(self, now: float, size: int, msg_class: MessageClass) -> float:
         """Charge a transmit; returns the time the tail leaves the NIC."""
         ser = self.serialization(size)

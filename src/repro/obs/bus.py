@@ -1,0 +1,237 @@
+"""The observability bus: one emit path for every layer of the stack.
+
+Two implementations share one duck type:
+
+- :class:`ObsBus` — the real thing: stamps events with the bound clock,
+  fans them out to attached sinks (a :class:`~repro.obs.sinks.MemorySink`
+  by default), and hands out cached :class:`~repro.obs.metrics.Counter` /
+  :class:`~repro.obs.metrics.Histogram` instruments.
+- :class:`NullBus` — the disabled path.  Every method is a constant-return
+  no-op on singletons: **zero allocation per event**, so instrumentation can
+  stay inline in hot paths.  Code that would build an event payload (tuple
+  packing, string formatting) should still guard with ``if bus.enabled:``.
+
+Instrumented layers receive the bus at construction time (defaulting to
+:data:`NULL_BUS`) and look instruments up once::
+
+    self._c_retry = bus.counter("lci.retry.sendb", node)   # init
+    ...
+    self._c_retry.inc()                                    # hot path
+
+Spans bracket an operation in simulated time::
+
+    sp = bus.span("mpi_rndv", node, key=(dst, tag))
+    ...                    # any number of yields later
+    sp.end(info=size)
+
+which emits paired ``"B"``/``"E"`` events that the Chrome sink renders as
+duration bars.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.obs.events import ObsEvent
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    Counter,
+    Histogram,
+)
+from repro.obs.sinks import MemorySink, Sink
+
+__all__ = ["ObsBus", "NullBus", "NULL_BUS", "Span"]
+
+
+class Span:
+    """An open interval on the bus; emits ``"B"`` now and ``"E"`` at
+    :meth:`end`."""
+
+    __slots__ = ("_bus", "kind", "node", "key", "start")
+
+    def __init__(self, bus: "ObsBus", kind: str, node: int, key: Any, time: Optional[float]):
+        self._bus = bus
+        self.kind = kind
+        self.node = node
+        self.key = key
+        self.start = bus.emit(kind, node, key=key, time=time, phase="B")
+
+    def end(self, info: Any = None, time: Optional[float] = None) -> None:
+        """Close the span (idempotence is the caller's responsibility)."""
+        self._bus.emit(self.kind, self.node, key=self.key, info=info, time=time, phase="E")
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by the null bus."""
+
+    __slots__ = ()
+
+    def end(self, info: Any = None, time: Optional[float] = None) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class ObsBus:
+    """The enabled event bus."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None, memory: bool = True):
+        #: Zero-argument callable returning "now"; see :meth:`bind_clock`.
+        self._clock = clock
+        self.sinks: list[Sink] = []
+        #: The queryable in-memory index (None when ``memory=False``).
+        self.memory: Optional[MemorySink] = MemorySink() if memory else None
+        if self.memory is not None:
+            self.sinks.append(self.memory)
+        self._counters: dict[tuple, Counter] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind_clock(self, sim: Any) -> None:
+        """Use ``sim.now`` (a :class:`~repro.sim.core.Simulator`) as the
+        default timestamp source for events emitted without ``time=``."""
+        self._clock = lambda: sim.now
+
+    def attach(self, sink: Sink) -> Sink:
+        """Attach a live sink; returns it for chaining."""
+        self.sinks.append(sink)
+        return sink
+
+    # -- events ----------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        node: int,
+        key: Any = None,
+        info: Any = None,
+        time: Optional[float] = None,
+        local_time: Optional[float] = None,
+        phase: str = "I",
+    ) -> float:
+        """Emit one event to every sink; returns the stamped time."""
+        if time is None:
+            time = self._clock() if self._clock is not None else 0.0
+        evt = ObsEvent(time, kind, node, key, info, local_time, phase)
+        for sink in self.sinks:
+            sink.on_event(evt)
+        return time
+
+    def span(self, kind: str, node: int, key: Any = None, time: Optional[float] = None) -> Span:
+        """Open a span (emits its ``"B"`` event immediately)."""
+        return Span(self, kind, node, key, time)
+
+    # -- instruments -----------------------------------------------------
+
+    def counter(self, name: str, node: Optional[int] = None) -> Counter:
+        """The (cached) counter for ``(name, node)``."""
+        key = (name, node)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(name, node)
+        return c
+
+    def histogram(self, name: str, node: Optional[int] = None) -> Histogram:
+        """The (cached) histogram for ``(name, node)``."""
+        key = (name, node)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(name, node)
+        return h
+
+    # -- snapshots -------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Per-instrument values, keyed ``name`` or ``name[node]``."""
+        return {
+            name if node is None else f"{name}[{node}]": c.value
+            for (name, node), c in self._counters.items()
+        }
+
+    def counter_totals(self) -> dict[str, int]:
+        """Counter values summed across nodes, keyed by bare name."""
+        out: dict[str, int] = {}
+        for (name, _node), c in self._counters.items():
+            out[name] = out.get(name, 0) + c.value
+        return out
+
+    def histogram_summaries(self) -> dict[str, dict]:
+        """Per-histogram :meth:`~repro.obs.metrics.Histogram.summary` dicts."""
+        return {
+            name if node is None else f"{name}[{node}]": h.summary()
+            for (name, node), h in self._histograms.items()
+        }
+
+    # -- replay ----------------------------------------------------------
+
+    def export(self, sink: Sink) -> Sink:
+        """Replay every event in the memory store into ``sink``.
+
+        Use this to produce a Chrome/CSV export after a run without having
+        paid for the rendering during it.  Requires the memory sink.
+        """
+        if self.memory is None:
+            raise ValueError("ObsBus.export requires the memory sink")
+        for evt in self.memory.events:
+            sink.on_event(evt)
+        sink.close()
+        return sink
+
+
+class NullBus:
+    """The disabled bus: every operation is a no-op with zero per-event
+    allocation.  Shared singleton: :data:`NULL_BUS`."""
+
+    __slots__ = ()
+
+    enabled = False
+    memory = None
+    sinks: list = []
+
+    def bind_clock(self, sim: Any) -> None:
+        return None
+
+    def attach(self, sink: Sink) -> Sink:
+        raise ValueError("cannot attach a sink to the null bus")
+
+    def emit(
+        self,
+        kind: str,
+        node: int,
+        key: Any = None,
+        info: Any = None,
+        time: Optional[float] = None,
+        local_time: Optional[float] = None,
+        phase: str = "I",
+    ) -> float:
+        return 0.0
+
+    def span(self, kind: str, node: int, key: Any = None, time: Optional[float] = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, node: Optional[int] = None) -> Counter:
+        return NULL_COUNTER
+
+    def histogram(self, name: str, node: Optional[int] = None) -> Histogram:
+        return NULL_HISTOGRAM
+
+    def counters(self) -> dict[str, int]:
+        return {}
+
+    def counter_totals(self) -> dict[str, int]:
+        return {}
+
+    def histogram_summaries(self) -> dict[str, dict]:
+        return {}
+
+    def export(self, sink: Sink) -> Sink:
+        raise ValueError("the null bus records nothing to export")
+
+
+#: The process-wide disabled bus (safe to share: it holds no state).
+NULL_BUS = NullBus()

@@ -1,0 +1,35 @@
+"""The typed event record shared by every layer of the stack.
+
+An :class:`ObsEvent` is one timestamped observation.  ``phase`` follows the
+Chrome tracing convention in spirit:
+
+- ``"I"`` — instant event (the default; what the old ``TraceRecorder``
+  recorded exclusively);
+- ``"B"``/``"E"`` — begin/end of a span (see :meth:`repro.obs.bus.ObsBus.span`);
+- ``"C"`` — a counter sample.
+
+``time`` is global simulated time; ``local_time`` is the (possibly skewed)
+node-local clock reading, present when a measurement clock was supplied.
+``node`` is the emitting node's rank, or ``-1`` for events that are not
+attributable to one node (simulator-kernel events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ObsEvent"]
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One timestamped observation emitted on the bus."""
+
+    time: float
+    kind: str
+    node: int
+    key: Any = None
+    info: Any = None
+    local_time: Optional[float] = None
+    phase: str = "I"

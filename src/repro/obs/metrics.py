@@ -1,0 +1,109 @@
+"""Counters and histograms: cheap aggregate instruments.
+
+Unlike events, metrics never allocate per observation: a :class:`Counter`
+bumps an integer, a :class:`Histogram` bumps a fixed power-of-two bin.  The
+bus hands out *cached* instances per ``(name, node)``, so instrumented code
+should look an instrument up once (at construction time) and hold on to it —
+the hot path is then a single method call, and with the null bus the call is
+a no-op on a shared singleton.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["Counter", "Histogram", "NULL_COUNTER", "NULL_HISTOGRAM"]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "node", "value")
+
+    def __init__(self, name: str, node: Optional[int] = None):
+        self.name = name
+        self.node = node
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` to the counter."""
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "" if self.node is None else f"[{self.node}]"
+        return f"Counter({self.name}{where}={self.value})"
+
+
+class Histogram:
+    """Power-of-two-binned distribution of non-negative samples.
+
+    Bin ``e`` holds samples in ``[2**(e-1), 2**e)`` (bin ``None`` holds
+    zeros), which is plenty for message-size and latency distributions while
+    keeping :meth:`observe` allocation-free after the first sample per bin.
+    """
+
+    __slots__ = ("name", "node", "count", "total", "min", "max", "bins")
+
+    def __init__(self, name: str, node: Optional[int] = None):
+        self.name = name
+        self.node = node
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.bins: dict = {}
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        e = math.frexp(value)[1] if value > 0 else None
+        self.bins[e] = self.bins.get(e, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """Count/sum/min/max/mean as a plain dict (empty histogram ⇒ zeros)."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "" if self.node is None else f"[{self.node}]"
+        return f"Histogram({self.name}{where} n={self.count} mean={self.mean:.3g})"
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by the null bus."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    """Shared do-nothing histogram handed out by the null bus."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_HISTOGRAM = _NullHistogram("null")

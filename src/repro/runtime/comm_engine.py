@@ -23,6 +23,7 @@ import itertools
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import RuntimeBackendError
+from repro.obs.bus import NULL_BUS
 from repro.sim.core import Event, Simulator
 
 __all__ = [
@@ -55,9 +56,11 @@ def next_data_tag() -> int:
 class CommEngine:
     """Abstract communication engine (Listing 1)."""
 
-    def __init__(self, sim: Simulator, node: int):
+    def __init__(self, sim: Simulator, node: int, obs=None):
         self.sim = sim
         self.node = node
+        #: Observability bus (defaults to the simulator's, usually NULL_BUS).
+        self.obs = obs if obs is not None else getattr(sim, "obs", NULL_BUS)
         self._am_tags: dict[int, tuple[AmCallback, Any]] = {}
         #: Counters exposed for benchmarks/tests.
         self.stats = {
@@ -67,6 +70,10 @@ class CommEngine:
             "puts_completed": 0,
             "bytes_put": 0,
         }
+        self._c_am_sent = self.obs.counter("parsec.am_sent", node)
+        self._c_am_recv = self.obs.counter("parsec.am_recv", node)
+        self._c_puts = self.obs.counter("parsec.puts_started", node)
+        self._h_put_bytes = self.obs.histogram("parsec.put_bytes", node)
 
     # -- registration (tag_reg / mem_reg of Listing 1) --------------------
 
@@ -135,4 +142,5 @@ class CommEngine:
     def _run_am_callback(self, tag: int, msg: Any, size: int, src: int) -> Generator:
         cb, cb_data = self._am_entry(tag)
         self.stats["am_recv"] += 1
+        self._c_am_recv.inc()
         yield from cb(self, tag, msg, size, src, cb_data)

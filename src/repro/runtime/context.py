@@ -27,6 +27,7 @@ from repro.errors import RuntimeBackendError
 from repro.lci.device import LciWorld
 from repro.mpi.world import MpiWorld
 from repro.network.fabric import Fabric
+from repro.obs.bus import NULL_BUS, ObsBus
 from repro.runtime.lci_backend import LciBackend
 from repro.runtime.mpi_backend import MpiBackend
 from repro.runtime.node import NodeRuntime
@@ -57,6 +58,8 @@ class RunStats:
     wire_bytes: int = 0
     events_processed: int = 0
     busy_time_total: float = 0.0
+    #: Observability counters summed across nodes (empty when obs is off).
+    obs_counters: dict = field(default_factory=dict)
 
     @property
     def mean_flow_latency(self) -> float:
@@ -116,6 +119,7 @@ class ParsecContext:
         collect_traces: bool = False,
         scheduler: str = "central",
         mpi_put_mode: str = "twosided",
+        observability: Optional[bool] = None,
     ):
         if backend not in ("mpi", "lci"):
             raise RuntimeBackendError(f"unknown backend {backend!r}")
@@ -130,12 +134,19 @@ class ParsecContext:
         self.scheduler = scheduler
         from repro.sim.trace import TraceRecorder
 
-        #: Optional per-flow protocol-phase tracing (see analysis.latency).
-        self.trace = TraceRecorder() if collect_traces else None
+        #: Observability bus shared by every layer (repro.obs).  Defaults to
+        #: on iff tracing was requested; the disabled path is a free no-op.
+        if observability is None:
+            observability = collect_traces
+        self.obs = ObsBus() if (observability or collect_traces) else NULL_BUS
+        #: Optional per-flow protocol-phase tracing (see analysis.latency) —
+        #: a compatibility facade over the bus's in-memory sink.
+        self.trace = TraceRecorder(bus=self.obs) if collect_traces else None
         self.platform = platform or scaled_platform()
         self.backend = backend
         self.multithreaded_activate = multithreaded_activate
-        self.sim = Simulator()
+        self.sim = Simulator(obs=self.obs)
+        self.obs.bind_clock(self.sim)
         self.rng = RngStreams(seed)
         n = self.platform.num_nodes
         self.fabric = Fabric(self.sim, n, self.platform.network)
@@ -262,4 +273,5 @@ class ParsecContext:
             wire_bytes=self.fabric.total_bytes(),
             events_processed=self.sim.events_processed,
             busy_time_total=sum(nd.busy_time for nd in self.nodes),
+            obs_counters=self.obs.counter_totals(),
         )

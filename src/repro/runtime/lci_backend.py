@@ -72,6 +72,12 @@ class LciBackend(CommEngine):
         device.am_handler = self._progress_thread_handler
         device.put_handler = self._native_put_handler
         self._started = False
+        #: §5.3.3 back-pressure: comm-thread retries after LCI_ERR_RETRY and
+        #: Direct receives delegated from the progress thread.
+        self._c_send_retry = self.obs.counter("parsec.lci.send_retries", device.node)
+        self._c_recv_delegated = self.obs.counter(
+            "parsec.lci.recv_retry_delegated", device.node
+        )
 
     # -- engine interface --------------------------------------------------
 
@@ -105,6 +111,7 @@ class LciBackend(CommEngine):
         """
         self._am_entry(tag)
         self.stats["am_sent"] += 1
+        self._c_am_sent.inc()
         payload = {"kind": "user_am", "tag": tag, "data": data}
         if size <= self.device.costs.immediate_max:
             yield from self.device.sendi(remote, tag, size, payload)
@@ -113,6 +120,7 @@ class LciBackend(CommEngine):
                 status = yield from self.device.sendb(remote, tag, size, payload)
                 if status == LCI_OK:
                     break
+                self._c_send_retry.inc()
                 yield self.sim.timeout(_RETRY_BACKOFF)
 
     def put(
@@ -129,6 +137,8 @@ class LciBackend(CommEngine):
         data_tag = next_data_tag()
         self.stats["puts_started"] += 1
         self.stats["bytes_put"] += size
+        self._c_puts.inc()
+        self._h_put_bytes.observe(size)
         if self.native_put:
             # One-sided: no handshake, no posted receive, no matching.
             while True:
@@ -143,6 +153,7 @@ class LciBackend(CommEngine):
                 )
                 if status == LCI_OK:
                     return
+                self._c_send_retry.inc()
                 yield self.sim.timeout(_RETRY_BACKOFF)
         eager = size <= self.rt.lci_eager_put_max
         hs_payload = {
@@ -157,6 +168,7 @@ class LciBackend(CommEngine):
             status = yield from self.device.sendb(remote, data_tag, hs_size, hs_payload)
             if status == LCI_OK:
                 break
+            self._c_send_retry.inc()
             yield self.sim.timeout(_RETRY_BACKOFF)
         if eager:
             # No separate data communication; local completion is immediate.
@@ -174,6 +186,7 @@ class LciBackend(CommEngine):
                 )
                 if status == LCI_OK:
                     break
+                self._c_send_retry.inc()
                 yield self.sim.timeout(_RETRY_BACKOFF)
 
     def progress(self) -> Generator[Any, Any, int]:
@@ -266,6 +279,7 @@ class LciBackend(CommEngine):
         if status == LCI_ERR_RETRY:
             # Cannot retry or progress recursively on the progress thread —
             # delegate to the communication thread (§5.3.3).
+            self._c_recv_delegated.inc()
             self.data_fifo.push(("post_recv_retry", src, data_tag, size, r_cb_data))
 
     def _native_put_handler(self, record: CompletionRecord) -> None:

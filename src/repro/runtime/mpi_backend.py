@@ -100,6 +100,11 @@ class MpiBackend(CommEngine):
         self._pending_tags: list[tuple[int, int]] = []
         #: RMA-mode state: puts waiting for the target's window attach.
         self._rma_pending: dict[int, tuple] = {}
+        #: §4.2.2 deferrals: transfers parked for lack of global-array space.
+        self._c_deferred = self.obs.counter("parsec.mpi.deferred", rank.rank)
+        self._h_deferred_depth = self.obs.histogram(
+            "parsec.mpi.deferred_depth", rank.rank
+        )
         self.tag_reg(_TAG_PUT_HS, self._handshake_cb, max_len=64 * 1024)
         self.tag_reg(_TAG_RMA_READY, self._rma_ready_cb, max_len=4096)
         self.tag_reg(_TAG_RMA_NOTIFY, self._rma_notify_cb, max_len=64 * 1024)
@@ -130,6 +135,7 @@ class MpiBackend(CommEngine):
         """Blocking eager MPI_Send with the registered tag (§4.2.1)."""
         self._am_entry(tag)  # raises on unregistered tag
         self.stats["am_sent"] += 1
+        self._c_am_sent.inc()
         yield from self.rank.send(remote, tag, size, payload={"am": data})
 
     def put(
@@ -145,6 +151,8 @@ class MpiBackend(CommEngine):
         data_tag = next_data_tag()
         self.stats["puts_started"] += 1
         self.stats["bytes_put"] += size
+        self._c_puts.inc()
+        self._h_put_bytes.observe(size)
         if self.put_mode == "rma":
             # Round 1: ask the target to attach window memory; the actual
             # MPI_Put happens when its READY reply arrives (_rma_ready_cb).
@@ -168,6 +176,7 @@ class MpiBackend(CommEngine):
             self._deferred.append(
                 ("send", remote, data_tag, size, data, l_cb, l_cb_data)
             )
+            self._note_deferred()
 
     def progress(self) -> Generator[Any, Any, int]:
         """Testsome loop: poll, run callbacks, compact, promote; repeat while
@@ -242,6 +251,7 @@ class MpiBackend(CommEngine):
             # Posted (so it matches and the wire moves), but polled only
             # after promotion into the global array.
             self._deferred.append(("recv", transfer))
+            self._note_deferred()
 
     def _rma_ready_cb(self, engine, tag, msg, size, src, cb_data) -> Generator:
         """Origin side, RMA mode: window attached — put, flush, notify."""
@@ -291,6 +301,10 @@ class MpiBackend(CommEngine):
                 t.peer,
                 cb_data,
             )
+
+    def _note_deferred(self) -> None:
+        self._c_deferred.inc()
+        self._h_deferred_depth.observe(len(self._deferred))
 
     def _promote_deferred(self) -> Generator:
         """FIFO promotion of deferred sends and dynamic receives (§4.2.3).

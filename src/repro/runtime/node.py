@@ -156,7 +156,7 @@ class NodeRuntime:
 
     def _worker(self, wid: int) -> Generator:
         rt = self.rt
-        trace = self.ctx.trace
+        obs = self.ctx.obs
         try:
             while True:
                 task: TaskSpec = yield from self.sched.pop(wid)
@@ -165,13 +165,13 @@ class NodeRuntime:
                 if task.duration > 0:
                     yield self.sim.timeout(task.duration)
                 self.busy_time += self.sim.now - start
-                if trace is not None:
-                    trace.record(
-                        start,
+                if obs.enabled:
+                    obs.emit(
                         "task_exec",
                         self.rank,
                         key=(self.rank, wid),
                         info=(task.kind, self.sim.now - start),
+                        time=start,
                     )
                 yield from self._complete_task(task, wid)
         except Interrupt:
@@ -232,9 +232,9 @@ class NodeRuntime:
                 "root_t": state.root_t if state is not None else now,
                 "hop_t": now,
             }
-            if self.ctx.trace is not None:
-                self.ctx.trace.record(
-                    now, "activate_handoff", self.rank, key=(fid, child[0])
+            if self.ctx.obs.enabled:
+                self.ctx.obs.emit(
+                    "activate_handoff", self.rank, key=(fid, child[0]), time=now
                 )
             yield from self._emit_activate(child[0], ad)
 
@@ -348,10 +348,8 @@ class NodeRuntime:
         for ad in msg:
             yield self.sim.timeout(self.rt.activate_unpack_per_flow)
             fid = ad["flow"]
-            if self.ctx.trace is not None:
-                self.ctx.trace.record(
-                    self.sim.now, "activate_cb", self.rank, key=(fid, self.rank)
-                )
+            if self.ctx.obs.enabled:
+                self.ctx.obs.emit("activate_cb", self.rank, key=(fid, self.rank))
             state = _FlowState(
                 ad["size"], ad["holder"], ad["prio"], ad["sub"],
                 ad["root_t"], ad["hop_t"], ad["root"],
@@ -366,10 +364,8 @@ class NodeRuntime:
         """Serve a GET DATA: put the flow's data back to the requester."""
         yield self.sim.timeout(self.rt.getdata_handle)
         fid = msg["flow"]
-        if self.ctx.trace is not None:
-            self.ctx.trace.record(
-                self.sim.now, "getdata_cb", self.rank, key=(fid, src)
-            )
+        if self.ctx.obs.enabled:
+            self.ctx.obs.emit("getdata_cb", self.rank, key=(fid, src))
         if fid not in self.flow_available:
             raise RuntimeBackendError(
                 f"node {self.rank}: GET DATA for flow {fid} before data ready"
@@ -407,10 +403,8 @@ class NodeRuntime:
                 f"node {self.rank}: put completion for unknown flow {fid}"
             )
         now = self.sim.now
-        if self.ctx.trace is not None:
-            self.ctx.trace.record(
-                now, "data_arrival", self.rank, key=(fid, self.rank)
-            )
+        if self.ctx.obs.enabled:
+            self.ctx.obs.emit("data_arrival", self.rank, key=(fid, self.rank), time=now)
         if state.root_t is not None:
             self.ctx.record_flow_latency(fid, self.rank, state.root, now - state.root_t)
         if state.hop_t is not None:

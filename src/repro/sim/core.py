@@ -28,6 +28,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.bus import NULL_BUS
 
 __all__ = [
     "Simulator",
@@ -143,6 +144,8 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        if sim.obs.enabled:
+            sim.obs.emit("process_start", -1, key=self.name, time=sim.now)
         sim.call_soon(self._start)
 
     @property
@@ -181,14 +184,17 @@ class Process(Event):
             target = advance()
         except StopIteration as stop:
             super().succeed(stop.value)
+            self._emit_end("ok")
             return
         except Interrupt as exc:
             # An uncaught interrupt terminates the process "normally" with
             # the interrupt as its value — callers may inspect it.
             super().succeed(exc)
+            self._emit_end("interrupted")
             return
         except BaseException as exc:
             super().fail(exc)
+            self._emit_end("error")
             return
         if not isinstance(target, Event):
             self._step(
@@ -199,6 +205,11 @@ class Process(Event):
             return
         self._waiting_on = target
         target.add_callback(self._resume)
+
+    def _emit_end(self, status: str) -> None:
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.emit("process_end", -1, key=self.name, info=status, time=self.sim.now)
 
 
 class _Condition(Event):
@@ -251,12 +262,20 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """Owns simulated time and the event heap."""
+    """Owns simulated time and the event heap.
 
-    __slots__ = ("now", "_heap", "_seq", "_running", "_event_count")
+    ``obs`` is the observability bus the kernel (and anything holding the
+    simulator) emits through; it defaults to the free no-op bus.  The event
+    loop itself is never instrumented per-event — only process lifecycle and
+    per-run aggregates are emitted — so an enabled bus does not perturb the
+    kernel's hot path.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("now", "obs", "_heap", "_seq", "_running", "_event_count")
+
+    def __init__(self, obs=None) -> None:
         self.now: float = 0.0
+        self.obs = obs if obs is not None else NULL_BUS
         self._heap: list = []
         self._seq: int = 0
         self._running = False
@@ -340,6 +359,12 @@ class Simulator:
                     self.now = until
         finally:
             self._running = False
+        if self.obs.enabled:
+            self.obs.emit(
+                "sim_run", -1,
+                info={"events_processed": self._event_count, "now": self.now},
+                time=self.now,
+            )
         return self.now
 
     def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:

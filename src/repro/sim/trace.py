@@ -1,42 +1,58 @@
-"""Structured tracing of simulation events.
+"""Structured tracing of simulation events — compatibility facade.
 
 The paper measures end-to-end communication latency "from send of the
 ACTIVATE message to arrival of data for individual flows" (§6.4.2) using
-synchronized clocks.  The :class:`TraceRecorder` captures timestamped records
-from any subsystem; analysis code (``repro.analysis.latency``) joins them
-into per-flow latencies.
+synchronized clocks.  Historically each subsystem recorded into a flat
+:class:`TraceRecorder`; the stack now emits through the typed observability
+bus (:mod:`repro.obs`), and :class:`TraceRecorder` survives as a thin facade
+over a bus's in-memory sink so existing analysis code and tests keep
+working.
+
+``TraceEvent`` is an alias of :class:`repro.obs.events.ObsEvent` — the
+field layout is unchanged (``time``, ``kind``, ``node``, ``key``, ``info``,
+``local_time``) plus the new ``phase`` marker.
+
+``by_kind``/``by_key`` are now index lookups (O(matching events)) instead of
+full scans: the memory sink maintains both indexes as events are recorded.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Optional
+
+from repro.obs.bus import NULL_BUS, ObsBus
+from repro.obs.events import ObsEvent
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
+#: Backwards-compatible name for the bus event record.
+TraceEvent = ObsEvent
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One timestamped record.
-
-    ``time`` is global simulated time; ``local_time`` is the (possibly
-    skewed) node-local clock reading, present when a clock was supplied.
-    """
-
-    time: float
-    kind: str
-    node: int
-    key: Any = None
-    info: Any = None
-    local_time: Optional[float] = None
+_EMPTY: list = []
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceEvent` records; cheap no-op when disabled."""
+    """A queryable view over an observability bus; cheap no-op when disabled.
 
-    def __init__(self, enabled: bool = True):
-        self.enabled = enabled
-        self.events: list[TraceEvent] = []
+    Standalone construction (``TraceRecorder()``) creates a private
+    :class:`~repro.obs.bus.ObsBus`; passing ``bus=`` wraps an existing one
+    (this is what :class:`~repro.runtime.context.ParsecContext` does, so
+    ``ctx.trace`` and ``ctx.obs`` see the same events).
+    """
+
+    def __init__(self, enabled: bool = True, bus: Optional[ObsBus] = None):
+        if bus is None:
+            bus = ObsBus() if enabled else NULL_BUS
+        elif bus.enabled and bus.memory is None:
+            raise ValueError("TraceRecorder requires a bus with a memory sink")
+        self.enabled = bus.enabled
+        self.bus = bus
+        self._mem = bus.memory
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Every recorded event, in emission order."""
+        return self._mem.events if self._mem is not None else _EMPTY
 
     def record(  # one timestamped row; no-op when disabled
         self,
@@ -47,17 +63,20 @@ class TraceRecorder:
         info: Any = None,
         local_time: Optional[float] = None,
     ) -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(time, kind, node, key, info, local_time))
+        self.bus.emit(kind, node, key=key, info=info, time=time, local_time=local_time)
 
-    def by_kind(self, kind: str) -> Iterator[TraceEvent]:
-        return (e for e in self.events if e.kind == kind)
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        """Events of ``kind``, in emission order (indexed lookup)."""
+        return self._mem.by_kind(kind) if self._mem is not None else _EMPTY
 
-    def by_key(self, key: Any) -> Iterator[TraceEvent]:
-        return (e for e in self.events if e.key == key)
+    def by_key(self, key: Any) -> list[TraceEvent]:
+        """Events with ``key``, in emission order (indexed lookup)."""
+        return self._mem.by_key(key) if self._mem is not None else _EMPTY
 
     def clear(self) -> None:
-        self.events.clear()
+        """Drop all recorded events (and their indexes)."""
+        if self._mem is not None:
+            self._mem.clear()
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._mem) if self._mem is not None else 0

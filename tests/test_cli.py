@@ -100,3 +100,22 @@ class TestNewCommands:
         assert main(["validate", "--size", "256K"]) == 0
         out = capsys.readouterr().out
         assert out.count("[OK ]") == 3
+
+    @pytest.mark.parametrize("fmt,loader", [("chrome", "json"), ("csv", "csv")])
+    def test_trace_export(self, capsys, tmp_path, fmt, loader):
+        out_path = tmp_path / f"trace.{fmt}"
+        assert main([
+            "trace-export", "--matrix", "4800", "--nodes", "2",
+            "--format", fmt, "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and str(out_path) in out
+        if loader == "json":
+            import json
+
+            doc = json.loads(out_path.read_text())
+            assert doc["traceEvents"]
+            assert {"ph", "ts", "pid"} <= set(doc["traceEvents"][0])
+        else:
+            header = out_path.read_text().splitlines()[0]
+            assert header == "time,kind,node,key,info,phase,local_time"
