@@ -8,6 +8,7 @@ Commands
 ``netpipe``      raw fabric ping-pong baseline for a list of sizes
 ``compare``      MPI vs LCI side-by-side on the ping-pong benchmark
 ``trace-export`` run a small job with observability on, export the trace
+``chaos``        run TLR Cholesky under a named fault plan, report recovery
 ``info``         print the calibrated platform constants
 """
 
@@ -101,6 +102,20 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument("--format", choices=["chrome", "csv"], default="chrome")
     te.add_argument("--out", metavar="PATH", default=None,
                     help="output file (default: trace.json / trace.csv)")
+
+    from repro.faults.plans import FAULT_PLANS
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run a small TLR Cholesky job under a named fault plan and "
+        "report per-fault-kind injection/recovery counts",
+    )
+    ch.add_argument("--plan", choices=sorted(FAULT_PLANS), default="chaos")
+    ch.add_argument("--backend", choices=["mpi", "lci", "both"], default="both")
+    ch.add_argument("--matrix", type=int, default=7200)
+    ch.add_argument("--tile", type=int, default=1200)
+    ch.add_argument("--nodes", type=int, default=2)
+    ch.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("info", help="print calibrated platform constants")
     return parser
@@ -238,6 +253,28 @@ def cmd_trace_export(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run TLR Cholesky under a fault plan; print the resilience report."""
+    from repro.bench.chaos import ChaosConfig, run_chaos
+    from repro.faults.plans import fault_plan
+
+    cfg = ChaosConfig(
+        plan_name=args.plan,
+        plan=fault_plan(args.plan),
+        matrix_size=args.matrix,
+        tile_size=args.tile,
+        num_nodes=args.nodes,
+        seed=args.seed,
+    )
+    backends = ["mpi", "lci"] if args.backend == "both" else [args.backend]
+    ok = True
+    for backend in backends:
+        result = run_chaos(backend, cfg)
+        print(result.summary())
+        ok = ok and result.numerics_ok
+    return 0 if ok else 1
+
+
 def cmd_info(args) -> int:
     """Dump every calibrated platform constant."""
     import dataclasses
@@ -311,6 +348,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "validate": cmd_validate,
     "trace-export": cmd_trace_export,
+    "chaos": cmd_chaos,
     "info": cmd_info,
 }
 

@@ -27,9 +27,11 @@ the full protocol message sequence of §4.2/§5.3 executes:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field, replace
 
+from repro.errors import ConfigError
 from repro.units import KiB, MiB, US, NS, bytes_per_s_from_gbit
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "RuntimeCosts",
     "ComputeConfig",
     "PlatformConfig",
+    "FaultConfig",
     "expanse_platform",
     "scaled_platform",
     "paper_scale_enabled",
@@ -48,6 +51,20 @@ __all__ = [
 def paper_scale_enabled() -> bool:
     """True when the environment requests full paper-scale experiments."""
     return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false", "no")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigError(message)
+
+
+def _no_negative_numbers(cfg) -> None:
+    """Reject negative numeric fields (times, sizes, rates are all >= 0)."""
+    cls = type(cfg).__name__
+    for f in dataclasses.fields(cfg):
+        v = getattr(cfg, f.name)
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            _require(v >= 0, f"{cls}.{f.name} must be >= 0 (got {v!r})")
 
 
 @dataclass(frozen=True)
@@ -73,6 +90,19 @@ class NetworkConfig:
     fat_tree_levels: int = 2
     #: Nodes per leaf switch.
     nodes_per_leaf: int = 16
+
+    def __post_init__(self) -> None:
+        _no_negative_numbers(self)
+        _require(self.bandwidth > 0, f"NetworkConfig.bandwidth must be > 0 (got {self.bandwidth!r})")
+        _require(self.mtu >= 1, f"NetworkConfig.mtu must be >= 1 (got {self.mtu!r})")
+        _require(
+            self.fat_tree_levels >= 1,
+            f"NetworkConfig.fat_tree_levels must be >= 1 (got {self.fat_tree_levels!r})",
+        )
+        _require(
+            self.nodes_per_leaf >= 1,
+            f"NetworkConfig.nodes_per_leaf must be >= 1 (got {self.nodes_per_leaf!r})",
+        )
 
     def latency(self, hops: int) -> float:
         """End-to-end base latency for a path with ``hops`` switch hops."""
@@ -122,6 +152,9 @@ class MpiCosts:
     #: MPI_Win_flush bookkeeping (plus waiting for remote completion).
     rma_flush: float = 1.0 * US
 
+    def __post_init__(self) -> None:
+        _no_negative_numbers(self)
+
 
 @dataclass(frozen=True)
 class LciCosts:
@@ -154,6 +187,22 @@ class LciCosts:
     packet_pool_size: int = 256
     #: Number of outstanding direct (RDMA) operations supported in hardware.
     direct_slots: int = 64
+
+    def __post_init__(self) -> None:
+        _no_negative_numbers(self)
+        _require(
+            self.packet_pool_size >= 1,
+            f"LciCosts.packet_pool_size must be >= 1 (got {self.packet_pool_size!r})",
+        )
+        _require(
+            self.direct_slots >= 1,
+            f"LciCosts.direct_slots must be >= 1 (got {self.direct_slots!r})",
+        )
+        _require(
+            self.buffered_max >= self.immediate_max,
+            f"LciCosts.buffered_max ({self.buffered_max!r}) must be >= "
+            f"immediate_max ({self.immediate_max!r})",
+        )
 
 
 @dataclass(frozen=True)
@@ -204,6 +253,119 @@ class ComputeConfig:
     #: Effective rate for low-rank (skinny) kernels — lower due to memory
     #: bound behaviour; HiCMA's LR kernels are far less compute-dense.
     lr_flops_per_core: float = 12e9
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One deterministic fault-injection plan (see ``docs/faults.md``).
+
+    All probabilities are per *transmission attempt* on the wire; all rates
+    are events per second of **simulated** time (CI-scale runs last a few
+    milliseconds, hence the large-looking defaults in the named plans).
+    Seeded from :class:`repro.sim.rng.RngStreams`, so the same seed and plan
+    replay bit-identically.  ``FaultConfig(enabled=False)`` — or simply not
+    passing a plan — selects the NULL engine and leaves runs bit-identical
+    to a faultless build.
+    """
+
+    enabled: bool = True
+    # -- per-message wire faults ----------------------------------------
+    #: Probability a transmission is silently lost in the network.
+    drop_rate: float = 0.0
+    #: Probability the network delivers an extra copy of a transmission.
+    dup_rate: float = 0.0
+    #: Probability a delivered payload is corrupted (checksum mismatch).
+    corrupt_rate: float = 0.0
+    #: Probability a transmission is delayed (reordered past later sends).
+    reorder_rate: float = 0.0
+    #: Maximum extra delay applied to a reordered transmission (s).
+    reorder_delay: float = 20 * US
+    # -- link flaps, degradation, and the circuit breaker ---------------
+    #: Flap windows per second per directed route (0 = no flaps).
+    flap_rate: float = 0.0
+    #: Length of one flap window (s); transmissions inside it are lost.
+    flap_duration: float = 60 * US
+    #: Latency multiplier on a route once it has started flapping.
+    degraded_latency_factor: float = 3.0
+    #: Flap-window losses on one route before the circuit breaker trips
+    #: and traffic re-routes via an alternate fat-tree path.
+    breaker_threshold: int = 3
+    # -- straggler injection --------------------------------------------
+    #: Nodes whose task compute times are stretched.
+    straggler_nodes: tuple = ()
+    #: Compute-time multiplier for straggler nodes (>= 1).
+    straggler_factor: float = 1.0
+    # -- LCI packet-pool exhaustion spikes ------------------------------
+    #: Pool-exhaustion spikes per second per device (0 = none).
+    pool_spike_rate: float = 0.0
+    #: Fraction of each packet pool confiscated during a spike.
+    pool_spike_fraction: float = 0.9
+    #: Length of one spike (s).
+    pool_spike_duration: float = 150 * US
+    # -- recovery: fabric-level retransmission --------------------------
+    #: Initial retransmission timeout (s).
+    rto: float = 30 * US
+    #: Exponential RTO growth factor per retransmission.
+    rto_backoff: float = 2.0
+    #: RTO ceiling (s).
+    rto_max: float = 2e-3
+    #: Deterministic jitter fraction added to each RTO (avoids lockstep).
+    rto_jitter: float = 0.25
+    #: Retransmission budget per message before the run is declared lost.
+    max_retransmits: int = 50
+    # -- recovery: backend back-pressure retry backoff ------------------
+    #: Exponential growth factor for LCI_ERR_RETRY-style retry delays
+    #: (the baseline fixed 0.5 us backoff corresponds to factor 1).
+    retry_backoff_factor: float = 2.0
+    #: Ceiling on the backend retry delay (s).
+    retry_max_delay: float = 16 * US
+    #: Deterministic jitter fraction on backend retry delays.
+    retry_jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        _no_negative_numbers(self)
+        for name in ("drop_rate", "dup_rate", "corrupt_rate", "reorder_rate",
+                     "pool_spike_fraction"):
+            v = getattr(self, name)
+            _require(0.0 <= v <= 1.0, f"FaultConfig.{name} must be in [0, 1] (got {v!r})")
+        _require(
+            self.degraded_latency_factor >= 1.0,
+            f"FaultConfig.degraded_latency_factor must be >= 1 (got {self.degraded_latency_factor!r})",
+        )
+        _require(
+            self.straggler_factor >= 1.0,
+            f"FaultConfig.straggler_factor must be >= 1 (got {self.straggler_factor!r})",
+        )
+        _require(
+            self.breaker_threshold >= 1,
+            f"FaultConfig.breaker_threshold must be >= 1 (got {self.breaker_threshold!r})",
+        )
+        _require(
+            self.max_retransmits >= 1,
+            f"FaultConfig.max_retransmits must be >= 1 (got {self.max_retransmits!r})",
+        )
+        _require(self.rto > 0, f"FaultConfig.rto must be > 0 (got {self.rto!r})")
+        _require(
+            self.rto_backoff >= 1.0,
+            f"FaultConfig.rto_backoff must be >= 1 (got {self.rto_backoff!r})",
+        )
+        _require(
+            self.rto_max >= self.rto,
+            f"FaultConfig.rto_max ({self.rto_max!r}) must be >= rto ({self.rto!r})",
+        )
+        _require(
+            self.retry_backoff_factor >= 1.0,
+            f"FaultConfig.retry_backoff_factor must be >= 1 (got {self.retry_backoff_factor!r})",
+        )
+        _require(
+            self.retry_max_delay > 0,
+            f"FaultConfig.retry_max_delay must be > 0 (got {self.retry_max_delay!r})",
+        )
+        for n in self.straggler_nodes:
+            _require(
+                isinstance(n, int) and n >= 0,
+                f"FaultConfig.straggler_nodes entries must be node ranks >= 0 (got {n!r})",
+            )
 
 
 @dataclass(frozen=True)

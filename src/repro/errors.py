@@ -13,8 +13,17 @@ class SimulationError(ReproError):
     """Misuse of the discrete-event kernel (e.g. running a finished sim)."""
 
 
+class ConfigError(ReproError):
+    """Invalid calibration/platform/fault-plan configuration value."""
+
+
 class NetworkError(ReproError):
     """Invalid network configuration or routing failure."""
+
+
+class FaultError(ReproError):
+    """Fault-injection failure the resilience machinery could not absorb
+    (e.g. a message exhausted its retransmission budget)."""
 
 
 class MpiError(ReproError):

@@ -1,0 +1,33 @@
+"""Deterministic fault injection and end-to-end resilience.
+
+The engine (:class:`~repro.faults.engine.FaultEngine`) schedules seeded
+injectors against the fabric/NIC layer — message drop, duplication,
+reordering, payload corruption, link flaps with latency degradation and
+circuit-breaker re-routing, straggler nodes, and LCI packet-pool exhaustion
+spikes — while :class:`~repro.faults.transport.ReliableTransport` supplies
+the recovery half: per-route sequence numbers, receiver-side dedup,
+checksums with NACK-triggered retransmission, and an RTO state machine with
+exponential backoff and deterministic jitter.
+
+With faults disabled (the default) every hook resolves to the
+:data:`~repro.faults.engine.NULL_FAULTS` singleton — the same NULL-object
+pattern as :data:`repro.obs.bus.NULL_BUS` — so baseline runs are
+bit-identical to a faultless build.  See ``docs/faults.md``.
+"""
+
+from repro.config import FaultConfig
+from repro.faults.engine import FaultEngine, NullFaultEngine, NULL_FAULTS
+from repro.faults.plans import FAULT_PLANS, fault_plan
+from repro.faults.transport import ReliableTransport, SeqTracker, wire_checksum
+
+__all__ = [
+    "FaultConfig",
+    "FaultEngine",
+    "NullFaultEngine",
+    "NULL_FAULTS",
+    "FAULT_PLANS",
+    "fault_plan",
+    "ReliableTransport",
+    "SeqTracker",
+    "wire_checksum",
+]

@@ -1,0 +1,46 @@
+"""Named fault plans for the ``chaos`` CLI verb and the soak tests.
+
+Each plan is a frozen :class:`~repro.config.FaultConfig` tuned so that a
+small (millisecond-scale simulated time) TLR Cholesky run sees a meaningful
+number of injections without drowning in retransmissions.  Event rates
+(``flap_rate``, ``pool_spike_rate``) are per simulated second, so values in
+the hundreds-to-thousands fire a handful of times per millisecond of run.
+"""
+
+from __future__ import annotations
+
+from repro.config import FaultConfig
+from repro.errors import ConfigError
+
+__all__ = ["FAULT_PLANS", "fault_plan"]
+
+FAULT_PLANS: dict[str, FaultConfig] = {
+    # Single-fault plans: isolate one injector each.
+    "drop": FaultConfig(drop_rate=0.02),
+    "duplicate": FaultConfig(dup_rate=0.02),
+    "corrupt": FaultConfig(corrupt_rate=0.02),
+    "reorder": FaultConfig(reorder_rate=0.05),
+    "flaky-links": FaultConfig(flap_rate=1500.0, flap_duration=60e-6),
+    "straggler": FaultConfig(straggler_nodes=(1,), straggler_factor=3.0),
+    "pool-pressure": FaultConfig(pool_spike_rate=1500.0),
+    # Everything at once, at rates a resilient run should shrug off.
+    "chaos": FaultConfig(
+        drop_rate=0.01,
+        dup_rate=0.005,
+        corrupt_rate=0.01,
+        reorder_rate=0.02,
+        flap_rate=600.0,
+        straggler_nodes=(1,),
+        straggler_factor=1.5,
+        pool_spike_rate=400.0,
+    ),
+}
+
+
+def fault_plan(name: str) -> FaultConfig:
+    """Look up a named plan, with a helpful error on typos."""
+    try:
+        return FAULT_PLANS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PLANS))
+        raise ConfigError(f"unknown fault plan {name!r} (known: {known})") from None

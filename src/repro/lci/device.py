@@ -91,6 +91,7 @@ class LciDevice:
         self.sim = world.sim
         self.costs = world.costs
         self.node = node
+        self.faults = world.fabric.faults
         # Resource pools.
         self.tx_packets_free = self.costs.packet_pool_size
         self.rx_packets_free = self.costs.packet_pool_size
@@ -133,6 +134,20 @@ class LciDevice:
         if kind == "am":
             self._rx_am.append(msg)
         elif kind == "rdma":
+            if self.faults.enabled:
+                # Fault mode: completions must follow the *actual* delivery
+                # (the sender's predicted times would complete transfers
+                # whose data was dropped).  Raise the local CQE now and the
+                # sender's FIN one hardware-ack latency later.
+                p = msg.payload
+                if p.get("one_sided"):
+                    self._push_hw(("pcomp",) + p["pcomp"])
+                else:
+                    self._push_hw(("rcomp", p["rd"], p["data"]))
+                ack = self.world.fabric.base_latency(self.node, msg.src)
+                src_dev = self.world.devices[msg.src]
+                self.sim.call_later(ack, src_dev._push_hw, ("fin", p["sd"]))
+                return
             # RDMA writes land directly in registered memory; the matching
             # hardware completion ("rcomp") is enqueued separately by the
             # sender at delivery time, so the wire message itself needs no
@@ -278,6 +293,12 @@ class LciDevice:
         op = _DirectOp(dst, tag, size, data, comp, user_ctx)
         self._send_ops[op.op_id] = op
         yield self.sim.timeout(self.costs.direct_post)
+        payload = {"kind": "rdma", "one_sided": True}
+        if self.faults.enabled:
+            # Completion material travels with the message so the receiver
+            # can raise both CQEs at actual delivery (see :meth:`_on_wire`).
+            payload["sd"] = op.op_id
+            payload["pcomp"] = (tag, size, self.node, data, remote_meta)
         deliver = self.world.fabric.send(
             WireMessage(
                 src=self.node,
@@ -285,19 +306,20 @@ class LciDevice:
                 size=size + _HEADER,
                 msg_class=MessageClass.DATA,
                 channel="lci",
-                payload={"kind": "rdma", "one_sided": True},
+                payload=payload,
             )
         )
-        peer = self.world.devices[dst]
-        self.sim.call_later(
-            deliver - self.sim.now,
-            peer._push_hw,
-            ("pcomp", tag, size, self.node, data, remote_meta),
-        )
-        ack = self.world.fabric.base_latency(dst, self.node)
-        self.sim.call_later(
-            deliver - self.sim.now + ack, self._push_hw, ("fin", op.op_id)
-        )
+        if not self.faults.enabled:
+            peer = self.world.devices[dst]
+            self.sim.call_later(
+                deliver - self.sim.now,
+                peer._push_hw,
+                ("pcomp", tag, size, self.node, data, remote_meta),
+            )
+            ack = self.world.fabric.base_latency(dst, self.node)
+            self.sim.call_later(
+                deliver - self.sim.now + ack, self._push_hw, ("fin", op.op_id)
+            )
         return LCI_OK
 
     def recvd(
@@ -420,16 +442,18 @@ class LciDevice:
                 payload={"kind": "rdma", "rd": p["rd"], "sd": op.op_id, "data": op.payload},
             )
             deliver = self.world.fabric.send(data_msg)
-            # RDMA write: receiver CQE at delivery; sender CQE one wire
-            # latency later (hardware ack), both drained by progress.
-            peer_dev = self.world.devices[op.peer]
-            self.sim.call_later(
-                deliver - self.sim.now,
-                peer_dev._push_hw,
-                ("rcomp", p["rd"], op.payload),
-            )
-            ack = self.world.fabric.base_latency(op.peer, self.node)
-            self.sim.call_later(deliver - self.sim.now + ack, self._push_hw, ("fin", op.op_id))
+            if not self.faults.enabled:
+                # RDMA write: receiver CQE at delivery; sender CQE one wire
+                # latency later (hardware ack), both drained by progress.
+                # (In fault mode the receiver raises both at actual delivery.)
+                peer_dev = self.world.devices[op.peer]
+                self.sim.call_later(
+                    deliver - self.sim.now,
+                    peer_dev._push_hw,
+                    ("rcomp", p["rd"], op.payload),
+                )
+                ack = self.world.fabric.base_latency(op.peer, self.node)
+                self.sim.call_later(deliver - self.sim.now + ack, self._push_hw, ("fin", op.op_id))
         else:  # pragma: no cover - defensive
             raise LciError(f"unknown protocol message {p['kind']!r}")
 

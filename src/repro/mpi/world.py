@@ -94,6 +94,7 @@ class MpiRank:
         self.sim = world.sim
         self.costs = world.costs
         self.rank = rank
+        self.faults = world.fabric.faults
         self.match = MatchEngine()
         self._inbox: deque[WireMessage] = deque()
         self._sends: dict[int, SendRequest] = {}
@@ -117,6 +118,13 @@ class MpiRank:
 
     def _on_wire(self, msg: WireMessage) -> None:
         if msg.payload["kind"] == "rma_put":
+            if self.faults.enabled:
+                # Fault mode: origin-side completion must follow the actual
+                # delivery (the origin's predicted time would complete puts
+                # whose data was dropped).  Remote ack ≈ one wire latency.
+                ack = self.world.fabric.base_latency(self.rank, msg.src)
+                origin = self.world.ranks[msg.src]
+                self.sim.call_later(ack, origin._complete_rma, msg.payload["req"])
             # One-sided data lands directly in window memory; the target's
             # software stack never sees it (completion is origin-side only).
             return
@@ -342,6 +350,11 @@ class MpiRank:
         try:
             req = Request(self.sim)
             yield self.sim.timeout(self.costs.rma_put_post)
+            wire_payload = {"kind": "rma_put", "size": size, "data": payload}
+            if self.faults.enabled:
+                # The request rides along so the target can schedule the
+                # origin-side completion at actual delivery (see _on_wire).
+                wire_payload["req"] = req
             deliver = self.world.fabric.send(
                 WireMessage(
                     src=self.rank,
@@ -349,14 +362,15 @@ class MpiRank:
                     size=size + _HEADER,
                     msg_class=MessageClass.DATA,
                     channel="mpi",
-                    payload={"kind": "rma_put", "size": size, "data": payload},
+                    payload=wire_payload,
                 )
             )
-            # Remote completion detected by flush ≈ one ack latency later.
-            ack = self.world.fabric.base_latency(dst, self.rank)
-            self.sim.call_later(
-                deliver - self.sim.now + ack, self._complete_rma, req
-            )
+            if not self.faults.enabled:
+                # Remote completion detected by flush ≈ one ack latency later.
+                ack = self.world.fabric.base_latency(dst, self.rank)
+                self.sim.call_later(
+                    deliver - self.sim.now + ack, self._complete_rma, req
+                )
             return req
         finally:
             self._release()

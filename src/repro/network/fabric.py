@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 from repro.config import NetworkConfig
 from repro.errors import NetworkError
+from repro.faults.engine import NULL_FAULTS
 from repro.network.message import MessageClass, WireMessage
 from repro.network.nic import NicState
 from repro.network.topology import FatTreeTopology
@@ -43,6 +44,7 @@ class Fabric:
         num_nodes: int,
         cfg: Optional[NetworkConfig] = None,
         obs: Optional[ObsBus] = None,
+        faults=None,
     ):
         if num_nodes <= 0:
             raise NetworkError("fabric needs at least one node")
@@ -59,6 +61,16 @@ class Fabric:
         # Cache per (src,dst) base latency.
         self._lat_cache: dict[tuple[int, int], float] = {}
         self._set_obs(obs if obs is not None else sim.obs)
+        self.faults = faults if faults is not None else NULL_FAULTS
+        if self.faults.enabled:
+            # Imported lazily: repro.faults.transport itself imports the
+            # network layer, and this module loads first on most paths.
+            from repro.faults.transport import ReliableTransport
+
+            self._rel: Optional[ReliableTransport] = ReliableTransport(self, self.faults)
+            self.faults.bind(self)
+        else:
+            self._rel = None
         #: Deprecated raw-WireMessage log — see :meth:`enable_message_log`.
         self.message_log: Optional[list[WireMessage]] = None  # obs-allow-adhoc
 
@@ -105,6 +117,10 @@ class Fabric:
         lat = self._lat_cache.get(key)
         if lat is None:
             lat = self.cfg.latency(self.topology.hops(src, dst))
+            if self.faults.enabled:
+                # Degraded/re-routed routes see a different latency; the
+                # fault engine invalidates this cache on state changes.
+                lat = self.faults.route_latency(src, dst, lat)
             self._lat_cache[key] = lat
         return lat
 
@@ -125,6 +141,11 @@ class Fabric:
         msg.inject_time = now
         if self.message_log is not None:  # obs-allow-adhoc
             self.message_log.append(msg)  # obs-allow-adhoc
+        if self._rel is not None and msg.src != msg.dst:
+            # Fault-injection mode: the reliable transport owns stamping,
+            # delivery scheduling, and retransmission for wire traffic.
+            # Loopback never touches the wire and stays on the fast path.
+            return self._rel.send(msg, handler)
         if msg.src == msg.dst:
             depart = now
             deliver = now + self.LOOPBACK_LATENCY
@@ -134,6 +155,12 @@ class Fabric:
             deliver = self.nics[msg.dst].eject(now, arrival, msg.size, msg.msg_class)
         msg.depart_time = depart
         msg.deliver_time = deliver
+        self._emit_wire(msg, depart, deliver, now)
+        self.sim.call_later(deliver - now, self._deliver, handler, msg)
+        return deliver
+
+    def _emit_wire(self, msg: WireMessage, depart: float, deliver: float, now: float) -> None:
+        """Emit the ``wire_msg`` event + fabric instruments for one send."""
         if self.obs.enabled:
             self.obs.emit(
                 "wire_msg",
@@ -145,8 +172,6 @@ class Fabric:
             self._c_msgs.inc()
             self._h_bytes.observe(msg.size)
             self._h_tx_backlog.observe(depart - now)
-        self.sim.call_later(deliver - now, self._deliver, handler, msg)
-        return deliver
 
     def _deliver(self, handler: Handler, msg: WireMessage) -> None:
         handler(msg)

@@ -45,6 +45,10 @@ class WireMessage:
     inject_time: float = -1.0
     depart_time: float = -1.0
     deliver_time: float = -1.0
+    #: Set only by the reliable transport (fault-injection mode): per-route
+    #: sequence number and header checksum.
+    seq: int = -1
+    checksum: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:

@@ -44,6 +44,16 @@ class FatTreeTopology:
         # Crossing the spine: 2 (up+down at leaf level) + 2 per spine level.
         return 2 + 2 * (self.levels - 1)
 
+    def alternate_hops(self, src: int, dst: int) -> int:
+        """Hop count of a disjoint backup path between two nodes.
+
+        A fat tree always offers alternate routes through a different
+        switch at the next level up; re-routing around a failing link
+        costs one extra up/down pair.  Loopback has no alternate path.
+        """
+        h = self.hops(src, dst)
+        return h + 2 if h else 0
+
     def _check(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise NetworkError(f"node {node} out of range [0, {self.num_nodes})")

@@ -12,6 +12,10 @@ Chrome tracing convention in spirit:
 node-local clock reading, present when a measurement clock was supplied.
 ``node`` is the emitting node's rank, or ``-1`` for events that are not
 attributable to one node (simulator-kernel events).
+
+Fault-injection runs add the ``fault.*`` (injector) and ``rel.*`` (reliable
+transport) kinds; see ``docs/faults.md`` for that taxonomy and its counter
+semantics.
 """
 
 from __future__ import annotations

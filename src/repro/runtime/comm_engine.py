@@ -23,10 +23,12 @@ import itertools
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import RuntimeBackendError
+from repro.faults.transport import SeqTracker
 from repro.obs.bus import NULL_BUS
 from repro.sim.core import Event, Simulator
 
 __all__ = [
+    "BackoffPolicy",
     "CommEngine",
     "AmCallback",
     "OnesidedCallback",
@@ -53,12 +55,43 @@ def next_data_tag() -> int:
     return next(_put_tags)
 
 
+class BackoffPolicy:
+    """Retry-delay schedule for backend back-pressure (LCI_ERR_RETRY etc.).
+
+    The default (``factor=1``) reproduces the historical fixed 0.5 µs
+    backoff exactly; fault-injection runs use an exponential schedule with
+    a cap and deterministic jitter so retry storms de-synchronise.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.5e-6,
+        factor: float = 1.0,
+        max_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay if max_delay is not None else 64 * base
+        self.jitter = jitter
+        self.rng = rng
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        d = min(self.base * self.factor ** (attempt - 1), self.max_delay)
+        if self.jitter and self.rng is not None:
+            d *= 1.0 + self.jitter * float(self.rng.random())
+        return d
+
+
 class CommEngine:
     """Abstract communication engine (Listing 1)."""
 
-    def __init__(self, sim: Simulator, node: int, obs=None):
+    def __init__(self, sim: Simulator, node: int, obs=None, backoff: Optional[BackoffPolicy] = None):
         self.sim = sim
         self.node = node
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
         #: Observability bus (defaults to the simulator's, usually NULL_BUS).
         self.obs = obs if obs is not None else getattr(sim, "obs", NULL_BUS)
         self._am_tags: dict[int, tuple[AmCallback, Any]] = {}
@@ -74,6 +107,13 @@ class CommEngine:
         self._c_am_recv = self.obs.counter("parsec.am_recv", node)
         self._c_puts = self.obs.counter("parsec.puts_started", node)
         self._h_put_bytes = self.obs.histogram("parsec.put_bytes", node)
+        # End-to-end AM dedup for fault-injection runs: the fabric-level
+        # transport already dedups the wire, but backend-level retries after
+        # LCI_ERR_RETRY-style back-pressure can resend an AM whose first copy
+        # actually made it out.  Sequence numbers make redelivery harmless.
+        self._am_next_seq: dict[int, int] = {}
+        self._am_rx: dict[int, SeqTracker] = {}
+        self._c_am_dup = self.obs.counter("parsec.am_dup_dropped", node)
 
     # -- registration (tag_reg / mem_reg of Listing 1) --------------------
 
@@ -139,7 +179,22 @@ class CommEngine:
             raise RuntimeBackendError(f"node {self.node}: unregistered AM tag {tag}")
         return entry
 
-    def _run_am_callback(self, tag: int, msg: Any, size: int, src: int) -> Generator:
+    def am_seq(self, remote: int) -> int:
+        """Next AM sequence number toward ``remote`` (per destination)."""
+        seq = self._am_next_seq.get(remote, 0)
+        self._am_next_seq[remote] = seq + 1
+        return seq
+
+    def _run_am_callback(
+        self, tag: int, msg: Any, size: int, src: int, seq: Optional[int] = None
+    ) -> Generator:
+        if seq is not None:
+            tracker = self._am_rx.get(src)
+            if tracker is None:
+                tracker = self._am_rx[src] = SeqTracker()
+            if not tracker.accept(seq):
+                self._c_am_dup.inc()
+                return
         cb, cb_data = self._am_entry(tag)
         self.stats["am_recv"] += 1
         self._c_am_recv.inc()

@@ -22,8 +22,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.config import PlatformConfig, scaled_platform
+from repro.config import FaultConfig, PlatformConfig, scaled_platform
 from repro.errors import RuntimeBackendError
+from repro.faults.engine import FaultEngine, NULL_FAULTS
 from repro.lci.device import LciWorld
 from repro.mpi.world import MpiWorld
 from repro.network.fabric import Fabric
@@ -120,6 +121,7 @@ class ParsecContext:
         scheduler: str = "central",
         mpi_put_mode: str = "twosided",
         observability: Optional[bool] = None,
+        faults: Optional[FaultConfig] = None,
     ):
         if backend not in ("mpi", "lci"):
             raise RuntimeBackendError(f"unknown backend {backend!r}")
@@ -149,12 +151,32 @@ class ParsecContext:
         self.obs.bind_clock(self.sim)
         self.rng = RngStreams(seed)
         n = self.platform.num_nodes
-        self.fabric = Fabric(self.sim, n, self.platform.network)
+        #: Fault-injection engine (NULL_FAULTS unless a plan is passed);
+        #: the fabric routes wire traffic through its reliable transport.
+        if faults is not None and faults.enabled:
+            self.faults = FaultEngine(faults, sim=self.sim, rng=self.rng, obs=self.obs)
+        else:
+            self.faults = NULL_FAULTS
+        self.fabric = Fabric(self.sim, n, self.platform.network, faults=self.faults)
         penalty = (
             1.0
             if self.platform.dedicated_comm_cores
             else self.platform.runtime.floating_thread_penalty
         )
+        backoff = None
+        if self.faults.enabled:
+            # Fault runs swap the fixed 0.5 us backend retry backoff for an
+            # exponential, capped, jittered schedule from the plan.
+            fc = self.faults.cfg
+            from repro.runtime.comm_engine import BackoffPolicy
+
+            backoff = BackoffPolicy(
+                base=0.5e-6,
+                factor=fc.retry_backoff_factor,
+                max_delay=fc.retry_max_delay,
+                jitter=fc.retry_jitter,
+                rng=self.rng.get("faults.backend_backoff"),
+            )
         if backend == "mpi":
             mpi_costs = _scale_time_costs(self.platform.mpi, penalty)
             self.mpi_world = MpiWorld(
@@ -166,6 +188,7 @@ class ParsecContext:
                     self.mpi_world.ranks[r],
                     self.platform.runtime,
                     put_mode=mpi_put_mode,
+                    backoff=backoff,
                 )
                 for r in range(n)
             ]
@@ -179,10 +202,13 @@ class ParsecContext:
                     self.lci_world.devices[r],
                     self.platform.runtime,
                     native_put=native_put,
+                    backoff=backoff,
                 )
                 for r in range(n)
             ]
             self.has_progress_thread = True
+            self.faults.schedule_pool_spikes(self.lci_world)
+        self.faults.bind_stop(lambda: self.stopped)
         self.nodes = [NodeRuntime(self, r) for r in range(n)]
         # Measurement clocks (§6.1.3 methodology), optional.
         self.clock_sync = clock_sync
@@ -259,6 +285,7 @@ class ParsecContext:
             )
         for node in self.nodes:
             node.stop_threads()
+        self.faults.quiesce()  # stop injector chains so the heap drains
         self.sim.run()  # drain remaining events
         return RunStats(
             backend=self.backend,

@@ -34,6 +34,7 @@ from repro.lci.completion import CompletionRecord
 from repro.lci.constants import LCI_ERR_RETRY, LCI_OK
 from repro.lci.device import LciDevice
 from repro.runtime.comm_engine import (
+    BackoffPolicy,
     CommEngine,
     OnesidedCallback,
     TAG_PUT_COMPLETE,
@@ -43,9 +44,6 @@ from repro.sim.core import Event, Simulator
 from repro.sim.primitives import NotifyQueue
 
 __all__ = ["LciBackend"]
-
-#: Back-off before re-attempting a resource-exhausted LCI operation.
-_RETRY_BACKOFF = 0.5e-6
 
 
 class LciBackend(CommEngine):
@@ -57,8 +55,9 @@ class LciBackend(CommEngine):
         device: LciDevice,
         rt_costs: Optional[RuntimeCosts] = None,
         native_put: bool = False,
+        backoff: Optional[BackoffPolicy] = None,
     ):
-        super().__init__(sim, device.node)
+        super().__init__(sim, device.node, backoff=backoff)
         self.device = device
         self.rt = rt_costs or RuntimeCosts()
         #: Use LCI's one-sided put with remote completion instead of the
@@ -112,16 +111,23 @@ class LciBackend(CommEngine):
         self._am_entry(tag)
         self.stats["am_sent"] += 1
         self._c_am_sent.inc()
-        payload = {"kind": "user_am", "tag": tag, "data": data}
+        payload = {
+            "kind": "user_am",
+            "tag": tag,
+            "data": data,
+            "seq": self.am_seq(remote),
+        }
         if size <= self.device.costs.immediate_max:
             yield from self.device.sendi(remote, tag, size, payload)
         else:
+            attempt = 0
             while True:
                 status = yield from self.device.sendb(remote, tag, size, payload)
                 if status == LCI_OK:
                     break
+                attempt += 1
                 self._c_send_retry.inc()
-                yield self.sim.timeout(_RETRY_BACKOFF)
+                yield self.sim.timeout(self.backoff.delay(attempt))
 
     def put(
         self,
@@ -141,6 +147,7 @@ class LciBackend(CommEngine):
         self._h_put_bytes.observe(size)
         if self.native_put:
             # One-sided: no handshake, no posted receive, no matching.
+            attempt = 0
             while True:
                 status = yield from self.device.putd(
                     remote,
@@ -153,8 +160,9 @@ class LciBackend(CommEngine):
                 )
                 if status == LCI_OK:
                     return
+                attempt += 1
                 self._c_send_retry.inc()
-                yield self.sim.timeout(_RETRY_BACKOFF)
+                yield self.sim.timeout(self.backoff.delay(attempt))
         eager = size <= self.rt.lci_eager_put_max
         hs_payload = {
             "kind": "put_hs",
@@ -164,17 +172,20 @@ class LciBackend(CommEngine):
             "eager": data if eager else None,
         }
         hs_size = self.rt.handshake_bytes + (size if eager else 0)
+        attempt = 0
         while True:
             status = yield from self.device.sendb(remote, data_tag, hs_size, hs_payload)
             if status == LCI_OK:
                 break
+            attempt += 1
             self._c_send_retry.inc()
-            yield self.sim.timeout(_RETRY_BACKOFF)
+            yield self.sim.timeout(self.backoff.delay(attempt))
         if eager:
             # No separate data communication; local completion is immediate.
             if l_cb is not None:
                 yield from l_cb(self, l_cb_data)
         else:
+            attempt = 0
             while True:
                 status = yield from self.device.sendd(
                     remote,
@@ -186,8 +197,9 @@ class LciBackend(CommEngine):
                 )
                 if status == LCI_OK:
                     break
+                attempt += 1
                 self._c_send_retry.inc()
-                yield self.sim.timeout(_RETRY_BACKOFF)
+                yield self.sim.timeout(self.backoff.delay(attempt))
 
     def progress(self) -> Generator[Any, Any, int]:
         """Comm-thread side: drain the completion FIFOs with the fairness
@@ -201,8 +213,8 @@ class LciBackend(CommEngine):
                 if not ok:
                     break
                 yield self.sim.timeout(cq_pop + self.rt.callback_exec)
-                tag, data, size, src = handle
-                yield from self._run_am_callback(tag, data, size, src)
+                tag, data, size, src, seq = handle
+                yield from self._run_am_callback(tag, data, size, src, seq)
                 n += 1
             stalled_retry = False
             while True:
@@ -257,7 +269,9 @@ class LciBackend(CommEngine):
         callback handle and push it to the right FIFO (§5.3.2/5.3.3)."""
         p = record.payload
         if p["kind"] == "user_am":
-            self.am_fifo.push((p["tag"], p["data"], record.size, record.peer))
+            self.am_fifo.push(
+                (p["tag"], p["data"], record.size, record.peer, p.get("seq"))
+            )
             self.device.free_rx_packet()
             return
         if p["kind"] != "put_hs":  # pragma: no cover - defensive

@@ -28,6 +28,7 @@ from repro.errors import RuntimeBackendError
 from repro.mpi.requests import PersistentRecvRequest, Request
 from repro.mpi.world import ANY_SOURCE, MpiRank
 from repro.runtime.comm_engine import (
+    BackoffPolicy,
     CommEngine,
     OnesidedCallback,
     TAG_PUT_COMPLETE,
@@ -79,8 +80,9 @@ class MpiBackend(CommEngine):
         rank: MpiRank,
         rt_costs: Optional[RuntimeCosts] = None,
         put_mode: str = "twosided",
+        backoff: Optional[BackoffPolicy] = None,
     ):
-        super().__init__(sim, rank.rank)
+        super().__init__(sim, rank.rank, backoff=backoff)
         if put_mode not in ("twosided", "rma"):
             raise RuntimeBackendError(f"unknown put mode {put_mode!r}")
         self.rank = rank
@@ -136,7 +138,9 @@ class MpiBackend(CommEngine):
         self._am_entry(tag)  # raises on unregistered tag
         self.stats["am_sent"] += 1
         self._c_am_sent.inc()
-        yield from self.rank.send(remote, tag, size, payload={"am": data})
+        yield from self.rank.send(
+            remote, tag, size, payload={"am": data, "seq": self.am_seq(remote)}
+        )
 
     def put(
         self,
@@ -207,7 +211,8 @@ class MpiBackend(CommEngine):
                     preq = entry.preq
                     msg = preq.payload["am"]
                     yield from self._run_am_callback(
-                        entry.tag, msg, preq.recv_size, preq.source
+                        entry.tag, msg, preq.recv_size, preq.source,
+                        preq.payload.get("seq"),
                     )
                     # Re-enable the persistent receive after the callback.
                     yield from self.rank.start(preq)

@@ -157,13 +157,20 @@ class NodeRuntime:
     def _worker(self, wid: int) -> Generator:
         rt = self.rt
         obs = self.ctx.obs
+        faults = self.ctx.faults
         try:
             while True:
                 task: TaskSpec = yield from self.sched.pop(wid)
                 start = self.sim.now
                 yield self.sim.timeout(rt.sched_op + rt.task_spawn)
                 if task.duration > 0:
-                    yield self.sim.timeout(task.duration)
+                    if faults.enabled:
+                        # Straggler injection stretches this node's compute.
+                        yield self.sim.timeout(
+                            task.duration * faults.compute_scale(self.rank)
+                        )
+                    else:
+                        yield self.sim.timeout(task.duration)
                 self.busy_time += self.sim.now - start
                 if obs.enabled:
                     obs.emit(

@@ -313,7 +313,7 @@ class TestLciBackendUnit:
 
         # Pre-load the FIFOs directly: 12 AM handles, 2 data handles.
         for i in range(12):
-            engines[1].am_fifo.push((TAG_TEST, i, 16, 0))
+            engines[1].am_fifo.push((TAG_TEST, i, 16, 0, i))
         engines[1].data_fifo.push(("r_data", "d0", None, 8, 0))
         engines[1].data_fifo.push(("r_data", "d1", None, 8, 0))
 

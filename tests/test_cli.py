@@ -101,6 +101,21 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert out.count("[OK ]") == 3
 
+    def test_chaos(self, capsys):
+        assert main([
+            "chaos", "--plan", "drop", "--backend", "lci",
+            "--matrix", "4800", "--tile", "1200", "--nodes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "numerics OK" in out
+        assert "injected" in out and "recovered" in out
+
+    def test_chaos_unknown_plan_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["chaos", "--plan", "definitely-not-a-plan"])
+
     @pytest.mark.parametrize("fmt,loader", [("chrome", "json"), ("csv", "csv")])
     def test_trace_export(self, capsys, tmp_path, fmt, loader):
         out_path = tmp_path / f"trace.{fmt}"

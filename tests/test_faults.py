@@ -1,0 +1,286 @@
+"""Tests for the deterministic fault-injection engine and reliable transport."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FaultConfig, LciCosts
+from repro.errors import ConfigError, FaultError
+from repro.faults import (
+    FAULT_PLANS,
+    FaultEngine,
+    NULL_FAULTS,
+    SeqTracker,
+    fault_plan,
+    wire_checksum,
+)
+from repro.lci.device import LciWorld
+from repro.network import Fabric, MessageClass, WireMessage
+from repro.obs import ObsBus
+from repro.sim import Simulator
+from repro.sim.rng import RngStreams
+
+
+def make_faulty_fabric(cfg: FaultConfig, num_nodes: int = 2, seed: int = 7):
+    sim = Simulator()
+    bus = ObsBus()
+    bus.bind_clock(sim)
+    engine = FaultEngine(cfg, sim=sim, rng=RngStreams(seed), obs=bus)
+    fabric = Fabric(sim, num_nodes, faults=engine)
+    return sim, fabric, engine, bus
+
+
+class TestSeqTracker:
+    def test_in_order_and_duplicates(self):
+        t = SeqTracker()
+        assert t.accept(0) and t.accept(1)
+        assert not t.accept(0)
+        assert not t.accept(1)
+        assert t.cum == 1
+
+    def test_out_of_order_gap_closes(self):
+        t = SeqTracker()
+        assert t.accept(2)
+        assert t.cum == -1 and 2 in t.seen
+        assert t.accept(0) and t.accept(1)
+        assert t.cum == 2 and not t.seen
+        assert not t.accept(2)
+
+
+class TestChecksum:
+    def test_covers_header_fields(self):
+        m = WireMessage(src=0, dst=1, size=64, msg_class=MessageClass.DATA,
+                        channel="t", seq=5)
+        base = wire_checksum(m)
+        assert wire_checksum(dataclasses.replace(m, seq=6)) != base
+        assert wire_checksum(dataclasses.replace(m, size=65)) != base
+        assert wire_checksum(dataclasses.replace(m, dst=0)) != base
+
+
+class TestNullEngine:
+    def test_null_faults_is_inert(self):
+        assert not NULL_FAULTS.enabled
+        assert NULL_FAULTS.compute_scale(3) == 1.0
+        assert NULL_FAULTS.route_latency(0, 1, 2.5e-6) == 2.5e-6
+        NULL_FAULTS.bind(None)
+        NULL_FAULTS.bind_stop(lambda: True)
+        NULL_FAULTS.schedule_pool_spikes(None)
+        NULL_FAULTS.quiesce()
+
+    def test_fabric_without_faults_has_no_transport(self):
+        fabric = Fabric(Simulator(), 2)
+        assert fabric.faults is NULL_FAULTS
+        assert fabric._rel is None
+
+
+class TestPlans:
+    def test_named_plans_valid_and_enabled(self):
+        for name, plan in FAULT_PLANS.items():
+            assert plan.enabled, name
+            assert fault_plan(name) is plan
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(ConfigError, match="unknown fault plan"):
+            fault_plan("nope")
+
+
+class TestJudgeDeterminism:
+    def test_same_seed_same_verdicts(self):
+        cfg = FaultConfig(drop_rate=0.3, dup_rate=0.2, corrupt_rate=0.2,
+                          reorder_rate=0.3)
+        msg = WireMessage(src=0, dst=1, size=64, msg_class=MessageClass.DATA)
+        verdicts = []
+        for _ in range(2):
+            sim = Simulator()
+            eng = FaultEngine(cfg, sim=sim, rng=RngStreams(42))
+            verdicts.append([eng.judge(msg, 0.0) for _ in range(200)])
+        assert verdicts[0] == verdicts[1]
+
+
+class TestReliableDelivery:
+    def _run(self, cfg, n_msgs=40):
+        sim, fabric, engine, bus = make_faulty_fabric(cfg)
+        seen = []
+        fabric.register_handler(1, "t", lambda m: seen.append(m.payload))
+        for i in range(n_msgs):
+            fabric.send(WireMessage(src=0, dst=1, size=4096,
+                                    msg_class=MessageClass.DATA,
+                                    channel="t", payload=i))
+        sim.run()
+        return seen, fabric, bus
+
+    def test_drops_recovered_exactly_once(self):
+        seen, fabric, bus = self._run(FaultConfig(drop_rate=0.25))
+        assert sorted(seen) == list(range(40))
+        assert len(seen) == 40  # dedup: no double delivery
+        assert fabric._rel.inflight_count == 0
+        totals = bus.counter_totals()
+        assert totals["fault.injected.drop"] > 0
+        assert totals["rel.retransmits"] > 0
+        # Injected counts include drops of ACK/NACK control probes; those are
+        # recovered by the data-side timer but not per-kind credited, so
+        # recovered <= injected.
+        assert 0 < totals["fault.recovered.drop"] <= totals["fault.injected.drop"]
+
+    def test_corruption_detected_and_nacked(self):
+        seen, fabric, bus = self._run(FaultConfig(corrupt_rate=0.3))
+        assert sorted(seen) == list(range(40))
+        totals = bus.counter_totals()
+        assert totals["fault.injected.corrupt"] > 0
+        assert totals["rel.nacks"] > 0
+
+    def test_duplicates_suppressed(self):
+        seen, fabric, bus = self._run(FaultConfig(dup_rate=0.4))
+        assert sorted(seen) == list(range(40))
+        assert bus.counter_totals()["rel.dup_dropped"] > 0
+
+    def test_reorder_still_delivers_all(self):
+        seen, fabric, bus = self._run(FaultConfig(reorder_rate=0.5,
+                                                  reorder_delay=50e-6))
+        assert sorted(seen) == list(range(40))
+
+    def test_retransmit_budget_exhaustion_raises(self):
+        # Every transmission *and* every control message is corrupted, so no
+        # attempt can ever be acknowledged.
+        cfg = FaultConfig(corrupt_rate=1.0, max_retransmits=3, rto=5e-6)
+        sim, fabric, engine, bus = make_faulty_fabric(cfg)
+        fabric.register_handler(1, "t", lambda m: None)
+        fabric.send(WireMessage(src=0, dst=1, size=64,
+                                msg_class=MessageClass.DATA, channel="t"))
+        with pytest.raises(FaultError, match="undeliverable"):
+            sim.run()
+
+    def test_loopback_bypasses_transport(self):
+        cfg = FaultConfig(drop_rate=1.0)  # would kill any wire message
+        sim, fabric, engine, bus = make_faulty_fabric(cfg)
+        seen = []
+        fabric.register_handler(0, "t", lambda m: seen.append(m.payload))
+        fabric.send(WireMessage(src=0, dst=0, size=64,
+                                msg_class=MessageClass.DATA, channel="t",
+                                payload="self"))
+        sim.run()
+        assert seen == ["self"]
+
+
+class TestLinkFlapAndBreaker:
+    def test_breaker_trips_and_reroutes(self):
+        # A permanently-down link: the first window opens immediately and
+        # never closes, so every attempt is a flap loss until the breaker
+        # trips and traffic takes the alternate path.
+        cfg = FaultConfig(flap_rate=1e9, flap_duration=1e6,
+                          breaker_threshold=3, rto=5e-6)
+        sim, fabric, engine, bus = make_faulty_fabric(cfg)
+        seen = []
+        fabric.register_handler(1, "t", lambda m: seen.append(m.payload))
+        base = fabric.cfg.latency(fabric.topology.hops(0, 1))
+        fabric.send(WireMessage(src=0, dst=1, size=64,
+                                msg_class=MessageClass.DATA, channel="t",
+                                payload="x"))
+        sim.run()
+        assert seen == ["x"]
+        totals = bus.counter_totals()
+        assert totals["fault.injected.flap"] >= cfg.breaker_threshold
+        # The link is down in both directions (ACKs flap too), so up to two
+        # routes may trip their breakers.
+        assert 1 <= totals["fault.reroutes"] <= 2
+        # Re-routed path is longer than the direct one.
+        assert fabric.base_latency(0, 1) > base
+        assert fabric.base_latency(0, 1) == pytest.approx(
+            fabric.cfg.latency(fabric.topology.alternate_hops(0, 1))
+        )
+
+    def test_degraded_latency_before_breaker(self):
+        # The first flap window opens just after t=0, so the initial send at
+        # t=0 sails through; the RTO retransmit at ~5 us lands inside the
+        # window and is the first loss on the forward route.
+        cfg = FaultConfig(flap_rate=1e9, flap_duration=1e6,
+                          breaker_threshold=100, degraded_latency_factor=3.0,
+                          rto=5e-6, rto_jitter=0.0)
+        sim, fabric, engine, bus = make_faulty_fabric(cfg)
+        base = fabric.cfg.latency(fabric.topology.hops(0, 1))
+        fabric.register_handler(1, "t", lambda m: None)
+        fabric.send(WireMessage(src=0, dst=1, size=64,
+                                msg_class=MessageClass.DATA, channel="t"))
+        sim.run(until=20e-6)
+        assert fabric.base_latency(0, 1) == pytest.approx(3.0 * base)
+
+
+class TestTopologyAlternatePath:
+    def test_alternate_hops(self):
+        from repro.network import FatTreeTopology
+
+        topo = FatTreeTopology(32, nodes_per_leaf=16, levels=2)
+        assert topo.alternate_hops(0, 0) == 0
+        assert topo.alternate_hops(0, 1) == topo.hops(0, 1) + 2
+        assert topo.alternate_hops(0, 20) == topo.hops(0, 20) + 2
+
+
+class TestStragglerAndBackoff:
+    def test_compute_scale(self):
+        sim = Simulator()
+        eng = FaultEngine(FaultConfig(straggler_nodes=(1,), straggler_factor=2.5),
+                          sim=sim, rng=RngStreams(0))
+        assert eng.compute_scale(1) == 2.5
+        assert eng.compute_scale(0) == 1.0
+
+    def test_rto_delay_backs_off_and_caps(self):
+        sim = Simulator()
+        cfg = FaultConfig(rto=10e-6, rto_backoff=2.0, rto_max=40e-6,
+                          rto_jitter=0.0)
+        eng = FaultEngine(cfg, sim=sim, rng=RngStreams(0))
+        assert eng.rto_delay(1) == pytest.approx(10e-6)
+        assert eng.rto_delay(2) == pytest.approx(20e-6)
+        assert eng.rto_delay(5) == pytest.approx(40e-6)  # capped
+
+    def test_backoff_policy_default_matches_legacy_constant(self):
+        from repro.runtime.comm_engine import BackoffPolicy
+
+        p = BackoffPolicy()
+        assert p.delay(1) == p.delay(7) == pytest.approx(0.5e-6)
+
+    def test_backoff_policy_exponential_with_cap(self):
+        from repro.runtime.comm_engine import BackoffPolicy
+
+        p = BackoffPolicy(base=1e-6, factor=2.0, max_delay=4e-6)
+        assert [p.delay(a) for a in (1, 2, 3, 4)] == pytest.approx(
+            [1e-6, 2e-6, 4e-6, 4e-6]
+        )
+
+
+class TestPoolSpikes:
+    def test_spike_steals_and_restores(self):
+        cfg = FaultConfig(pool_spike_rate=2e5, pool_spike_fraction=0.5,
+                          pool_spike_duration=20e-6)
+        sim = Simulator()
+        bus = ObsBus()
+        bus.bind_clock(sim)
+        engine = FaultEngine(cfg, sim=sim, rng=RngStreams(3), obs=bus)
+        fabric = Fabric(sim, 2, faults=engine)
+        world = LciWorld(sim, fabric, LciCosts(packet_pool_size=8))
+        engine.schedule_pool_spikes(world)
+        sim.run(until=100e-6)
+        assert bus.counter_totals()["fault.injected.pool_spike"] > 0
+        engine.quiesce()
+        sim.run()  # outstanding restores drain, chain dies
+        for dev in world.devices:
+            assert dev.rx_packets_free == dev.costs.packet_pool_size
+            assert dev.tx_packets_free == dev.costs.packet_pool_size
+
+
+class TestDisabledIsIdentical:
+    def test_disabled_plan_run_matches_no_plan(self):
+        from repro.bench.workloads import random_layered_dag
+        from repro.config import scaled_platform
+        from repro.runtime import ParsecContext
+
+        results = []
+        for faults in (None, FaultConfig(enabled=False)):
+            g = random_layered_dag([3, 4, 3], num_nodes=2, seed=5)
+            ctx = ParsecContext(
+                scaled_platform(num_nodes=2, cores_per_node=2),
+                backend="lci", faults=faults,
+            )
+            s = ctx.run(g, until=30.0)
+            results.append((s.makespan, s.events_processed, s.wire_bytes,
+                            tuple(s.flow_latencies)))
+        assert results[0] == results[1]

@@ -319,3 +319,56 @@ class TestCompletionMechanisms:
         sim, world = make_world()
         with pytest.raises(LciError):
             world.devices[0].free_rx_packet()
+
+
+class TestRxPacketDepletion:
+    """§5.2 hardware receive-queue depletion: delivered AMs stall when the
+    RX packet pool is empty and drain once a consumer frees a packet."""
+
+    def test_am_queue_stalls_then_drains_after_free(self):
+        from repro.obs import ObsBus
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        fabric = Fabric(sim, 2)
+        bus = ObsBus()
+        bus.bind_clock(sim)
+        world = LciWorld(sim, fabric, LciCosts(packet_pool_size=2), obs=bus)
+        d0, d1 = world.devices
+        got = []
+        # Handler hoards its buffer: nothing calls free_rx_packet yet.
+        d1.am_handler = lambda rec: got.append(rec.payload)
+        stalls = bus.counter("lci.rx_am_stalls", 1)
+
+        def main():
+            for i in range(4):
+                status = yield from d0.sendi(dst=1, tag=0, size=16, data=i)
+                assert status == LCI_OK
+            yield sim.timeout(1e-3)  # let all four AMs arrive
+            n = yield from d1.progress()
+            # Pool of 2: two AMs consumed, two stalled in the RX queue.
+            assert n == 2
+            assert got == [0, 1]
+            assert d1.rx_packets_free == 0
+            assert len(d1._rx_am) == 2
+            assert stalls.value == 1
+            # Progressing again without freeing must not consume more.
+            n = yield from d1.progress()
+            assert n == 0
+            assert stalls.value == 2
+            # A consumer frees one packet: exactly one more AM drains.
+            d1.free_rx_packet()
+            n = yield from d1.progress()
+            assert n == 1
+            assert got == [0, 1, 2]
+            assert stalls.value == 3
+            # Free the rest: the queue empties and the stall counter stops.
+            d1.free_rx_packet()
+            d1.free_rx_packet()
+            n = yield from d1.progress()
+            assert n == 1
+            assert got == [0, 1, 2, 3]
+            assert not d1._rx_am
+            assert stalls.value == 3
+
+        sim.run_process(main())

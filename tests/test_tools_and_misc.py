@@ -41,6 +41,30 @@ class TestApiDocsGenerator:
         assert (ROOT / "docs" / "api.md").exists()
 
 
+class TestRepoCheckers:
+    """The standalone tools/ checkers must pass on the checked-in tree."""
+
+    def test_no_adhoc_tracing(self):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "check_no_adhoc_tracing.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_fault_determinism(self):
+        # One backend keeps this under a few seconds; the checker still runs
+        # the replay and the disabled-plan==no-plan invariants.
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "check_fault_determinism.py"),
+             "--backend", "lci"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bit-identical" in proc.stdout
+
+
 class TestNicEjectControl:
     def test_control_eject_bypasses_data_backlog(self):
         nic = NicState(NetworkConfig())

@@ -7,6 +7,7 @@ import pytest
 
 from repro.config import (
     ComputeConfig,
+    FaultConfig,
     LciCosts,
     MpiCosts,
     NetworkConfig,
@@ -16,6 +17,7 @@ from repro.config import (
     paper_scale_enabled,
     scaled_platform,
 )
+from repro.errors import ConfigError
 from repro.hicma.dag import build_dense_cholesky_graph, expected_task_count
 from repro.units import (
     GiB,
@@ -111,6 +113,73 @@ class TestPlatformConfig:
         assert paper_scale_enabled() is True
         monkeypatch.setenv("REPRO_PAPER_SCALE", "0")
         assert paper_scale_enabled() is False
+
+
+class TestConfigValidation:
+    """__post_init__ must reject impossible calibration values with a
+    ConfigError naming the offending field."""
+
+    def test_network_negative_latency(self):
+        with pytest.raises(ConfigError, match="NetworkConfig.hop_latency"):
+            NetworkConfig(hop_latency=-1e-6)
+        with pytest.raises(ConfigError, match="NetworkConfig.wire_latency"):
+            NetworkConfig(wire_latency=-1.0)
+
+    def test_network_zero_bandwidth(self):
+        with pytest.raises(ConfigError, match="NetworkConfig.bandwidth"):
+            NetworkConfig(bandwidth=0)
+
+    def test_network_bad_mtu_and_topology(self):
+        with pytest.raises(ConfigError, match="NetworkConfig.mtu"):
+            NetworkConfig(mtu=0)
+        with pytest.raises(ConfigError, match="NetworkConfig.fat_tree_levels"):
+            NetworkConfig(fat_tree_levels=0)
+        with pytest.raises(ConfigError, match="NetworkConfig.nodes_per_leaf"):
+            NetworkConfig(nodes_per_leaf=0)
+
+    def test_mpi_negative_cost(self):
+        with pytest.raises(ConfigError, match="MpiCosts.eager_send"):
+            MpiCosts(eager_send=-1e-9)
+
+    def test_lci_negative_cost(self):
+        with pytest.raises(ConfigError, match="LciCosts.buffered_send"):
+            LciCosts(buffered_send=-1e-9)
+
+    def test_lci_zero_packet_pool(self):
+        with pytest.raises(ConfigError, match="LciCosts.packet_pool_size"):
+            LciCosts(packet_pool_size=0)
+        with pytest.raises(ConfigError, match="LciCosts.direct_slots"):
+            LciCosts(direct_slots=0)
+
+    def test_lci_buffered_below_immediate(self):
+        with pytest.raises(ConfigError, match="buffered_max"):
+            LciCosts(immediate_max=1024, buffered_max=512)
+
+    def test_fault_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigError, match="FaultConfig.drop_rate"):
+            FaultConfig(drop_rate=1.5)
+        with pytest.raises(ConfigError, match="FaultConfig.corrupt_rate"):
+            FaultConfig(corrupt_rate=-0.1)
+
+    def test_fault_misc_bounds(self):
+        with pytest.raises(ConfigError, match="FaultConfig.rto"):
+            FaultConfig(rto=0.0)
+        with pytest.raises(ConfigError, match="rto_max"):
+            FaultConfig(rto=1e-3, rto_max=1e-4)
+        with pytest.raises(ConfigError, match="straggler_factor"):
+            FaultConfig(straggler_factor=0.5)
+        with pytest.raises(ConfigError, match="straggler_nodes"):
+            FaultConfig(straggler_nodes=(-1,))
+
+    def test_valid_configs_still_construct(self):
+        # Constructions the test-suite and calibration actually use.
+        NetworkConfig()
+        MpiCosts()
+        LciCosts(packet_pool_size=1)
+        LciCosts(direct_slots=1)
+        LciCosts(packet_pool_size=2, buffered_send=1e-9, copy_per_byte=0.0)
+        FaultConfig()
+        FaultConfig(enabled=False)
 
 
 class TestDenseCholeskyGraph:
