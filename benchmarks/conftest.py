@@ -3,75 +3,42 @@
 Each ``test_fig*`` module regenerates one table or figure of the paper.
 Sweeps that feed several figures (e.g. the Fig. 4 tile scan feeds 4a, 4b
 and the §6.4.3 analysis; the Fig. 5 node scan feeds 5a, 5b and Table 2)
-run once per session and are cached here.
+run once per session through :mod:`repro.sweep` — set ``REPRO_SWEEP_JOBS``
+to fan the points over worker processes and ``REPRO_SWEEP_CACHE_DIR`` to
+reuse results across sessions (results are bit-identical either way; the
+cache key covers the full resolved configuration and the code version).
 
 Set ``REPRO_PAPER_SCALE=1`` for the paper's full problem dimensions.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+from repro.analysis.sweep_tables import index_hicma_results
+from repro.config import SweepConfig
+from repro.sweep import fig4_grid, fig5_grid, run_sweep
+from repro.sweep.spec import _fig4_dimensions, _fig5_dimensions
 
 
-def _fig4_dimensions():
-    from repro.config import paper_scale_enabled
-
-    if paper_scale_enabled():
-        matrix = 360_000
-        tiles = [1200, 1500, 1800, 2400, 3000, 3600, 4500, 4800, 6000]
-        mt_tiles = [1200, 2400]
-    else:
-        matrix = 72_000
-        tiles = [450, 600, 720, 1200, 1800, 3000]
-        mt_tiles = [600, 1200]
-    return matrix, tiles, mt_tiles
-
-
-def _fig5_dimensions():
-    from repro.config import paper_scale_enabled
-
-    if paper_scale_enabled():
-        matrix = 360_000
-        node_tiles = {
-            n: [1200, 1500, 1800, 2400, 3000, 3600, 4500, 6000]
-            for n in (1, 2, 4, 8, 16, 32)
-        }
-    else:
-        # N here is larger than the Fig. 4 default so that the 16-node point
-        # still sits inside the paper's strong-scaling window (scaled nodes
-        # carry full Expanse-node compute, so the compute:communication
-        # ratio of N=72k at 16 nodes corresponds to far beyond the paper's
-        # 32-node point — see EXPERIMENTS.md).
-        matrix = 144_000
-        node_tiles = {
-            1: [2400, 3600, 6000],
-            2: [2400, 3600, 6000],
-            4: [1440, 2400, 3600],
-            8: [1200, 1440, 2400, 3600],
-            16: [900, 1200, 1440, 2400],
-        }
-    return matrix, node_tiles
+def _sweep_config() -> SweepConfig:
+    """Sweep execution knobs from the environment (serial, no cache, by
+    default so plain ``pytest`` runs stay hermetic)."""
+    return SweepConfig(
+        jobs=int(os.environ.get("REPRO_SWEEP_JOBS", "1")),
+        cache_enabled=bool(os.environ.get("REPRO_SWEEP_CACHE_DIR")),
+        cache_dir=os.environ.get("REPRO_SWEEP_CACHE_DIR"),
+    )
 
 
 @pytest.fixture(scope="session")
 def fig4_sweep():
     """Tile-size scan at 16 nodes (Fig. 4a/4b): {(backend, tile, mt): result}."""
     matrix, tiles, mt_tiles = _fig4_dimensions()
-    results = {}
-    for backend in ("mpi", "lci"):
-        for tile in tiles:
-            cfg = HicmaConfig(matrix_size=matrix, tile_size=tile, num_nodes=16)
-            results[(backend, tile, False)] = run_hicma_benchmark(backend, cfg)
-        for tile in mt_tiles:
-            cfg = HicmaConfig(
-                matrix_size=matrix,
-                tile_size=tile,
-                num_nodes=16,
-                multithreaded_activate=True,
-            )
-            results[(backend, tile, True)] = run_hicma_benchmark(backend, cfg)
+    outcome = run_sweep(fig4_grid(), _sweep_config())
+    results = index_hicma_results(outcome, by_nodes=False)
     return {"matrix": matrix, "tiles": tiles, "mt_tiles": mt_tiles, "results": results}
 
 
@@ -79,14 +46,8 @@ def fig4_sweep():
 def fig5_sweep():
     """Node scan with per-node tile lists (Fig. 5a/5b, Table 2)."""
     matrix, node_tiles = _fig5_dimensions()
-    results = {}
-    for backend in ("mpi", "lci"):
-        for nodes, tiles in node_tiles.items():
-            for tile in tiles:
-                cfg = HicmaConfig(
-                    matrix_size=matrix, tile_size=tile, num_nodes=nodes
-                )
-                results[(backend, nodes, tile)] = run_hicma_benchmark(backend, cfg)
+    outcome = run_sweep(fig5_grid(), _sweep_config())
+    results = index_hicma_results(outcome, by_nodes=True)
     return {"matrix": matrix, "node_tiles": node_tiles, "results": results}
 
 

@@ -5,6 +5,13 @@ from repro.analysis.ascii_plot import ascii_chart, ascii_table
 from repro.analysis.latency import FlowBreakdown, breakdown, phase_summary
 from repro.analysis.export import dump_results, load_results, to_jsonable
 from repro.analysis.gantt import Interval, occupancy, render_gantt, worker_intervals
+from repro.analysis.sweep_tables import (
+    fig4_table,
+    fig5_table,
+    index_hicma_results,
+    pingpong_table,
+    render_outcome,
+)
 
 __all__ = [
     "MethodologyConfig",
@@ -22,4 +29,9 @@ __all__ = [
     "occupancy",
     "render_gantt",
     "worker_intervals",
+    "index_hicma_results",
+    "fig4_table",
+    "fig5_table",
+    "pingpong_table",
+    "render_outcome",
 ]

@@ -151,19 +151,38 @@ def best_tile_scan(
     num_nodes: int,
     tile_sizes: Optional[list[int]] = None,
     matrix_size: Optional[int] = None,
+    sweep_config=None,
     **kwargs,
-) -> tuple[int, dict[int, HicmaResult]]:
-    """Run every tile size; return (best tile, all results) — Table 2."""
+) -> tuple[int, dict]:
+    """Run every tile size; return (best tile, all results) — Table 2.
+
+    Point execution goes through :func:`repro.sweep.run_sweep`, so pass a
+    :class:`~repro.config.SweepConfig` to parallelise the scan or reuse a
+    result cache; results are attribute views over the sweep records
+    (``.time_to_solution`` etc.) and are bit-identical either way.
+    """
+    from repro.config import SweepConfig
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.spec import SweepPoint, SweepSpec
+
     matrix_size = matrix_size or default_matrix_size()
     tile_sizes = tile_sizes or default_tile_sizes()
-    results: dict[int, HicmaResult] = {}
-    for tile in tile_sizes:
-        cfg = HicmaConfig(
-            matrix_size=matrix_size,
-            tile_size=tile,
-            num_nodes=num_nodes,
-            **kwargs,
+    cfg_fields = {"multithreaded_activate": False, "seed": 0, **kwargs}
+    points = tuple(
+        SweepPoint(
+            kind="hicma",
+            backend=backend,
+            params={
+                "matrix_size": matrix_size,
+                "tile_size": tile,
+                "num_nodes": num_nodes,
+                **cfg_fields,
+            },
         )
-        results[tile] = run_hicma_benchmark(backend, cfg)
+        for tile in tile_sizes
+    )
+    spec = SweepSpec(name=f"tile-scan-{backend}-{num_nodes}n", points=points)
+    outcome = run_sweep(spec, sweep_config or SweepConfig(cache_enabled=False))
+    results = dict(zip(tile_sizes, outcome.views()))
     best = min(results, key=lambda t: results[t].time_to_solution)
     return best, results

@@ -2,11 +2,14 @@
 
 Commands
 --------
-``pingpong``   run the §6.2 bandwidth benchmark for one fragment size
-``overlap``    run the §6.3 overlap benchmark for one fragment size
-``hicma``      run one §6.4 TLR Cholesky configuration
+``pingpong``     run the §6.2 bandwidth benchmark for one fragment size
+``overlap``      run the §6.3 overlap benchmark for one fragment size
+``hicma``        run one §6.4 TLR Cholesky configuration
+``sweep``        run a named experiment grid (fig4 / fig5 / pingpong) in
+                 parallel through the cached sweep engine
 ``netpipe``      raw fabric ping-pong baseline for a list of sizes
 ``compare``      MPI vs LCI side-by-side on the ping-pong benchmark
+``validate``     simulator self-checks against closed-form models
 ``trace-export`` run a small job with observability on, export the trace
 ``chaos``        run TLR Cholesky under a named fault plan, report recovery
 ``info``         print the calibrated platform constants
@@ -81,11 +84,32 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--fragment", type=_size, default=_size("128K"))
     cp.add_argument("--total", type=_size, default=None)
 
-    sw = sub.add_parser("sweep", help="ping-pong bandwidth across fragment sizes")
-    sw.add_argument("fragments", nargs="*", type=_size,
-                    default=[_size(s) for s in ("32K", "128K", "512K", "2M")])
-    sw.add_argument("--total", type=_size, default=_size("8M"))
-    sw.add_argument("--streams", type=int, default=1)
+    sw = sub.add_parser(
+        "sweep",
+        help="run a named experiment grid through the parallel, cached "
+        "sweep engine and print its figure table",
+    )
+    sw.add_argument("grid", choices=["fig4", "fig5", "pingpong"],
+                    help="which experiment grid to run")
+    sw.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = run in-process)")
+    sw.add_argument("--no-cache", action="store_true",
+                    help="simulate every point, ignore the result cache")
+    sw.add_argument("--cache-dir", metavar="PATH", default=None,
+                    help="result cache root (default: .repro-cache/sweep "
+                    "or $REPRO_SWEEP_CACHE_DIR)")
+    sw.add_argument("--cache-stats", action="store_true",
+                    help="print cache statistics and exit")
+    sw.add_argument("--cache-clear", action="store_true",
+                    help="delete every cached entry and exit")
+    sw.add_argument("--retries", type=int, default=1,
+                    help="retry budget per failing point")
+    sw.add_argument("--fragments", nargs="*", type=_size, default=None,
+                    help="pingpong grid: fragment sizes (e.g. 32K 512K 2M)")
+    sw.add_argument("--total", type=_size, default=None,
+                    help="pingpong grid: bytes per iteration")
+    sw.add_argument("--streams", type=int, default=1,
+                    help="pingpong grid: concurrent streams")
 
     va = sub.add_parser("validate", help="simulator self-checks vs closed forms")
     va.add_argument("--size", type=_size, default=_size("1M"))
@@ -290,35 +314,37 @@ def cmd_info(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    """Ping-pong both backends across fragment sizes; print a table."""
-    from repro.analysis.ascii_plot import ascii_table
-    from repro.bench.pingpong import PingPongConfig, run_pingpong_benchmark
-    from repro.units import fmt_size
+    """Run a named experiment grid through the sweep engine."""
+    from repro.analysis.sweep_tables import render_outcome
+    from repro.config import SweepConfig
+    from repro.sweep import ResultCache, named_grid, run_sweep
 
-    rows = []
-    for frag in args.fragments:
-        row = [fmt_size(frag)]
-        for backend in ("mpi", "lci"):
-            r = run_pingpong_benchmark(
-                backend,
-                PingPongConfig(
-                    fragment_size=frag,
-                    total_bytes=args.total,
-                    streams=args.streams,
-                    iterations=5,
-                ),
-            )
-            row.append(f"{r.bandwidth_gbit:.1f}")
-        rows.append(tuple(row))
-    print(
-        ascii_table(
-            ["fragment", "MPI Gbit/s", "LCI Gbit/s"],
-            rows,
-            title=f"ping-pong sweep ({args.streams} stream(s), "
-            f"{args.total} B/iteration)",
-        )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.cache_stats:
+        print(ResultCache(args.cache_dir).stats().summary())
+        return 0
+    if args.cache_clear:
+        removed = ResultCache(args.cache_dir).clear()
+        print(f"cleared {removed} cached entries")
+        return 0
+
+    kwargs = {}
+    if args.grid == "pingpong":
+        kwargs = {
+            "fragments": args.fragments,
+            "total_bytes": args.total,
+            "streams": args.streams,
+        }
+    spec = named_grid(args.grid, **kwargs)
+    config = SweepConfig(
+        jobs=args.jobs,
+        cache_enabled=not args.no_cache,
+        retries=args.retries,
     )
-    return 0
+    outcome = run_sweep(spec, config, cache=cache)
+    print(render_outcome(outcome))
+    print(outcome.summary())
+    return 0 if outcome.failed == 0 else 1
 
 
 def cmd_validate(args) -> int:

@@ -42,6 +42,7 @@ __all__ = [
     "ComputeConfig",
     "PlatformConfig",
     "FaultConfig",
+    "SweepConfig",
     "expanse_platform",
     "scaled_platform",
     "paper_scale_enabled",
@@ -366,6 +367,42 @@ class FaultConfig:
                 isinstance(n, int) and n >= 0,
                 f"FaultConfig.straggler_nodes entries must be node ranks >= 0 (got {n!r})",
             )
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Execution policy for one :mod:`repro.sweep` run (see
+    ``docs/performance.md``).
+
+    ``jobs`` counts worker *processes*; 1 keeps everything in-process
+    (bit-identical to the historical serial harnesses by construction).
+    The cache is content-addressed — entries are keyed by a stable hash of
+    the fully resolved point configuration plus the code version — so a
+    stale entry can only be served to a byte-identical experiment.
+    """
+
+    #: Worker processes executing sweep points (1 = serial, in-process).
+    jobs: int = 1
+    #: Consult/populate the on-disk result cache.
+    cache_enabled: bool = True
+    #: Cache root; ``None`` selects ``$REPRO_SWEEP_CACHE_DIR`` or
+    #: ``.repro-cache/sweep`` under the working directory.
+    cache_dir: "str | None" = None
+    #: Re-executions of a failed point before giving up on it.
+    retries: int = 1
+    #: Abort the whole sweep on the first point that exhausts its retries
+    #: (``False`` records the failure and continues).
+    fail_fast: bool = True
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.jobs, int) and self.jobs >= 1,
+            f"SweepConfig.jobs must be an int >= 1 (got {self.jobs!r})",
+        )
+        _require(
+            isinstance(self.retries, int) and self.retries >= 0,
+            f"SweepConfig.retries must be an int >= 0 (got {self.retries!r})",
+        )
 
 
 @dataclass(frozen=True)

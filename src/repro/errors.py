@@ -38,6 +38,11 @@ class RuntimeBackendError(ReproError):
     """PaRSEC-like runtime misconfiguration or protocol violation."""
 
 
+class SweepError(ReproError):
+    """Sweep-engine failure: a point's simulation raised (after retries),
+    an unknown grid was requested, or the result cache is unusable."""
+
+
 class HicmaError(ReproError):
     """HiCMA numerical or DAG-construction failure."""
 

@@ -15,7 +15,11 @@ attributable to one node (simulator-kernel events).
 
 Fault-injection runs add the ``fault.*`` (injector) and ``rel.*`` (reliable
 transport) kinds; see ``docs/faults.md`` for that taxonomy and its counter
-semantics.
+semantics.  The sweep engine adds ``sweep_start`` / ``sweep_point`` /
+``sweep_end`` progress events and the ``sweep.executed`` / ``sweep.cached``
+/ ``sweep.failed`` / ``sweep.retried`` counters — these carry wall-clock
+progress (``time`` is 0.0, ``node`` is ``-1``) since a sweep spans many
+independent simulations; see ``docs/observability.md``.
 """
 
 from __future__ import annotations

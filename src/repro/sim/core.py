@@ -5,9 +5,17 @@ Design notes
 The kernel is a classic event-heap design tuned for the millions of events a
 single HiCMA run generates:
 
-- the heap holds ``(time, seq, event)`` tuples — ``seq`` is a monotonically
-  increasing counter so simultaneous events fire in schedule order and runs
-  are deterministic;
+- the heap holds ``(time, seq, event, fn, args)`` tuples — ``seq`` is a
+  monotonically increasing counter so simultaneous events fire in schedule
+  order and runs are deterministic;
+- entries scheduled *at the current time* (event-trigger dispatches,
+  :meth:`Simulator.call_soon`, zero-delay timeouts) bypass the heap through
+  a FIFO ready queue.  Because simulated time never moves backwards, a
+  current-time entry can only be ordered against same-time heap entries,
+  and the shared ``seq`` counter decides that race exactly as the heap
+  would — so the fast path is O(1) instead of O(log n) per entry while
+  preserving bit-identical execution order (the determinism checker runs
+  on traces to enforce this);
 - :class:`Event` is a one-shot completion: callbacks attached before it
   triggers run when it fires, in attachment order;
 - :class:`Process` wraps a generator.  ``yield`` transfers control back to
@@ -25,6 +33,7 @@ single-threaded — simulated "threads" are processes).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -114,9 +123,18 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay!r}")
-        super().__init__(sim)
+        # Field setup and scheduling are inlined (no super().__init__ /
+        # _schedule_at calls): timers are the single most-constructed object
+        # in a run, and the call overhead is measurable.
+        self.sim = sim
+        self.callbacks = []
         self._value = value if value is not None else delay
-        sim._schedule_at(sim.now + delay, self)
+        self._ok = True
+        sim._seq += 1
+        if delay == 0:
+            sim._ready.append((sim._seq, self, None, None))
+        else:
+            heapq.heappush(sim._heap, (sim.now + delay, sim._seq, self, None, None))
 
     # Timeouts are pre-triggered at construction; suppress double-trigger.
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
@@ -160,28 +178,28 @@ class Process(Event):
         self.sim.call_soon(self._throw, Interrupt(cause))
 
     def _start(self, _evt: Event = None) -> None:
-        self._step(lambda: self.generator.send(None))
+        self._step(self.generator.send, None)
 
     def _resume(self, event: Event) -> None:
-        if self.triggered or event is not self._waiting_on:
+        if self._value is not _PENDING or event is not self._waiting_on:
             # Stale wake-up: the process was interrupted (or finished) while
             # this event was pending; ignore it.
             return
         self._waiting_on = None
-        if event.ok:
-            self._step(lambda: self.generator.send(event.value))
+        if event._ok:
+            self._step(self.generator.send, event._value)
         else:
-            self._step(lambda: self.generator.throw(event.value))
+            self._step(self.generator.throw, event._value)
 
     def _throw(self, exc: BaseException) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         self._waiting_on = None
-        self._step(lambda: self.generator.throw(exc))
+        self._step(self.generator.throw, exc)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, advance: Callable[[Any], Any], arg: Any) -> None:
         try:
-            target = advance()
+            target = advance(arg)
         except StopIteration as stop:
             super().succeed(stop.value)
             self._emit_end("ok")
@@ -198,9 +216,8 @@ class Process(Event):
             return
         if not isinstance(target, Event):
             self._step(
-                lambda: self.generator.throw(
-                    SimulationError(f"process {self.name!r} yielded non-event {target!r}")
-                )
+                self.generator.throw,
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}"),
             )
             return
         self._waiting_on = target
@@ -237,9 +254,9 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             self.fail(event.value)
             return
         self._remaining -= 1
@@ -253,9 +270,9 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             self.fail(event.value)
             return
         self.succeed((self._events.index(event), event.value))
@@ -271,12 +288,17 @@ class Simulator:
     kernel's hot path.
     """
 
-    __slots__ = ("now", "obs", "_heap", "_seq", "_running", "_event_count")
+    __slots__ = ("now", "obs", "_heap", "_ready", "_seq", "_running", "_event_count")
 
     def __init__(self, obs=None) -> None:
         self.now: float = 0.0
         self.obs = obs if obs is not None else NULL_BUS
         self._heap: list = []
+        #: FIFO of current-time entries ``(seq, event, fn, args)``.  Every
+        #: entry here carries a timestamp equal to ``now``; the run loop
+        #: merges it with the heap by comparing ``seq`` against same-time
+        #: heap heads, so ordering is bit-identical to the all-heap kernel.
+        self._ready: deque = deque()
         self._seq: int = 0
         self._running = False
         self._event_count = 0
@@ -285,25 +307,34 @@ class Simulator:
 
     def _schedule_at(self, when: float, event: Event) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, event, None, None))
+        if when <= self.now:
+            # Zero-delay timers land on the O(1) ready queue; ``seq``
+            # ordering against same-time heap entries is preserved by the
+            # run-loop merge.
+            self._ready.append((self._seq, event, None, None))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, event, None, None))
 
     def _queue_trigger(self, event: Event) -> None:
         """Queue a triggered event's callback dispatch at the current time."""
         self._seq += 1
-        heapq.heappush(self._heap, (self.now, self._seq, event, None, None))
+        self._ready.append((self._seq, event, None, None))
 
     def call_soon(self, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at the current simulated time, after already
         queued work."""
         self._seq += 1
-        heapq.heappush(self._heap, (self.now, self._seq, None, fn, args))
+        self._ready.append((self._seq, None, fn, args))
 
     def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
+        if delay == 0:
+            self._ready.append((self._seq, None, fn, args))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
 
     # -- public API ------------------------------------------------------
 
@@ -341,23 +372,50 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        count = self._event_count
         try:
-            while heap:
+            while True:
+                if ready:
+                    # A heap entry can only precede the ready head when it
+                    # is stamped at the current time with a smaller seq
+                    # (time never moves backwards while work is ready).
+                    if heap:
+                        head = heap[0]
+                        if head[0] <= self.now and head[1] < ready[0][0]:
+                            heappop(heap)
+                            count += 1
+                            _w, _s, event, fn, args = head
+                            if event is not None:
+                                event._dispatch()
+                            else:
+                                fn(*args)
+                            continue
+                    _seq, event, fn, args = ready.popleft()
+                    count += 1
+                    if event is not None:
+                        event._dispatch()
+                    else:
+                        fn(*args)
+                    continue
+                if not heap:
+                    if until is not None:
+                        self.now = until
+                    break
                 when, _seq, event, fn, args = heap[0]
                 if until is not None and when > until:
                     self.now = until
                     break
-                heapq.heappop(heap)
+                heappop(heap)
                 self.now = when
-                self._event_count += 1
+                count += 1
                 if event is not None:
                     event._dispatch()
                 else:
                     fn(*args)
-            else:
-                if until is not None:
-                    self.now = until
         finally:
+            self._event_count = count
             self._running = False
         if self.obs.enabled:
             self.obs.emit(

@@ -24,6 +24,8 @@ class Store:
     unless the store is at capacity).
     """
 
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
             raise SimulationError("Store capacity must be positive or None")
@@ -99,6 +101,8 @@ class PriorityStore(Store):
     Items are ``(priority, payload)`` pairs; ties release in insertion order.
     """
 
+    __slots__ = ("_seq",)
+
     def __init__(self, sim: Simulator):
         super().__init__(sim, capacity=None)
         self._items: list = []  # heap of (priority, seq, payload)
@@ -154,6 +158,8 @@ class Resource:
     once per successful acquisition.
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int):
         if capacity <= 0:
             raise SimulationError("Resource capacity must be positive")
@@ -203,6 +209,8 @@ class Resource:
 class Semaphore:
     """A counting semaphore (may start at zero)."""
 
+    __slots__ = ("sim", "_value", "_waiters")
+
     def __init__(self, sim: Simulator, value: int = 0):
         if value < 0:
             raise SimulationError("Semaphore value must be non-negative")
@@ -243,6 +251,8 @@ class NotifyQueue:
     need: a thread parks until *any* work exists, then drains everything.
     """
 
+    __slots__ = ("sim", "_items", "_waiters")
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._items: deque = deque()
@@ -279,6 +289,8 @@ class NotifyQueue:
 
 class Latch:
     """A countdown latch: triggers its event when the count reaches zero."""
+
+    __slots__ = ("sim", "_count", "event")
 
     def __init__(self, sim: Simulator, count: int):
         if count < 0:

@@ -1,0 +1,57 @@
+"""``repro.sweep`` — the parallel experiment-sweep engine.
+
+Every headline figure of the paper is a *sweep*: the same deterministic
+simulation re-run over a grid of configurations (tile scans × node counts
+× backends).  This package turns those grids into first-class objects and
+executes them
+
+- **in parallel** over a process pool (:func:`~repro.sweep.engine.run_sweep`
+  with ``SweepConfig(jobs=N)``) — each point is an independent simulation,
+  so sweeps scale to every idle core;
+- **at most once** — a content-addressed on-disk cache
+  (:class:`~repro.sweep.cache.ResultCache`) keyed by a stable hash of the
+  fully resolved configuration plus the code version means a point shared
+  by several figures (or re-requested by a rerun) is simulated exactly
+  once;
+- **deterministically** — records are bit-identical whether a point ran
+  serially, in a worker process, or came from cache, which the test suite
+  asserts.
+
+Entry points: ``python -m repro sweep`` (CLI), the grid builders in
+:mod:`repro.sweep.spec`, and :func:`repro.sweep.engine.run_sweep`.  See
+``docs/performance.md`` for usage and cache layout.
+"""
+
+from repro.config import SweepConfig
+from repro.sweep.cache import CacheStats, ResultCache, default_cache_dir, stable_hash
+from repro.sweep.engine import PointView, SweepOutcome, execute_point, run_sweep
+from repro.sweep.spec import (
+    GRID_BUILDERS,
+    SweepPoint,
+    SweepSpec,
+    fig4_grid,
+    fig5_grid,
+    named_grid,
+    pingpong_grid,
+    point_key,
+)
+
+__all__ = [
+    "SweepConfig",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepOutcome",
+    "PointView",
+    "ResultCache",
+    "CacheStats",
+    "stable_hash",
+    "default_cache_dir",
+    "point_key",
+    "execute_point",
+    "run_sweep",
+    "fig4_grid",
+    "fig5_grid",
+    "pingpong_grid",
+    "named_grid",
+    "GRID_BUILDERS",
+]

@@ -1,0 +1,162 @@
+"""Content-addressed on-disk result cache for sweep points.
+
+Every cached record is keyed by :func:`stable_hash` of the *fully resolved*
+experiment description: the workload parameters with every environment-
+dependent default (paper scale, totals, platform) expanded, the complete
+platform cost model (``Network``/``Mpi``/``Lci``/``Runtime``/``Compute``
+dataclasses, plus any ``Fault`` plan), and the code version from
+:mod:`repro._version`.  Two consequences:
+
+- a cache hit can only ever be served to a byte-identical experiment —
+  changing any calibration constant, workload knob, or the package version
+  changes the key, so "invalidation" is automatic and needs no manifest;
+- the hash is reproducible across processes and machines (canonical JSON,
+  shortest-round-trip float repr), which the test suite asserts by hashing
+  in a subprocess.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON document per point with
+the key, the code version, the resolved spec payload, and the result record.
+Corrupted or truncated entries (killed writer, disk trouble) are deleted on
+first read and treated as misses; writes go through a temp file +
+``os.replace`` so readers never observe a partial record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro._version import __version__
+
+__all__ = ["stable_hash", "CacheStats", "ResultCache", "default_cache_dir"]
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    Canonical = sorted keys, no whitespace, ``repr``-shortest floats (the
+    Python default), no NaN/Infinity (they are not valid cache-key
+    material and raise).  Stable across processes, platforms, and runs.
+    """
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE_DIR`` or ``.repro-cache/sweep`` under the cwd."""
+    env = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(".repro-cache") / "sweep"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Summary of a cache directory's contents."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    versions: tuple
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        vers = ", ".join(self.versions) if self.versions else "-"
+        return (
+            f"cache {self.root}: {self.entries} entries, "
+            f"{self.total_bytes / 1024:.1f} KiB, versions [{vers}]"
+        )
+
+
+class ResultCache:
+    """A content-addressed store of sweep-point result records."""
+
+    def __init__(self, root: "Path | str | None" = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of ``key``'s record."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result record for ``key``, or ``None`` on miss.
+
+        A corrupted entry (unparsable JSON, wrong shape, key mismatch) is
+        deleted and reported as a miss — the point simply re-runs.
+        """
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._evict(path)
+            return None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("key") != key
+            or "result" not in doc
+        ):
+            self._evict(path)
+            return None
+        return doc["result"]
+
+    def put(self, key: str, spec: Any, result: dict) -> None:
+        """Atomically store ``result`` under ``key``.
+
+        ``spec`` (the resolved point payload the key was hashed from) is
+        stored alongside for human inspection and debugging; only ``key``
+        addresses the record.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"key": key, "version": __version__, "spec": spec, "result": result}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True))
+        os.replace(tmp, path)
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir():
+                yield from sorted(sub.glob("*.json"))
+
+    def stats(self) -> CacheStats:
+        """Walk the cache directory and summarize its contents."""
+        entries = 0
+        total = 0
+        versions = set()
+        for path in self._entries():
+            entries += 1
+            total += path.stat().st_size
+            try:
+                versions.add(json.loads(path.read_text()).get("version", "?"))
+            except (OSError, ValueError):
+                versions.add("corrupt")
+        return CacheStats(
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total,
+            versions=tuple(sorted(versions)),
+        )
+
+    def clear(self) -> int:
+        """Delete every cached record; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            self._evict(path)
+            removed += 1
+        return removed

@@ -91,10 +91,32 @@ class TestCommands:
 
 
 class TestNewCommands:
-    def test_sweep(self, capsys):
-        assert main(["sweep", "256K", "--total", "1M"]) == 0
+    def test_sweep_pingpong_grid(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keep the default cache out of the repo
+        argv = ["sweep", "pingpong", "--fragments", "256K", "--total", "1M"]
+        assert main(argv) == 0
         out = capsys.readouterr().out
         assert "MPI Gbit/s" in out and "LCI Gbit/s" in out
+        assert "2 simulated, 0 cached" in out
+        # Warm rerun: every point served from the on-disk cache.
+        assert main(argv) == 0
+        assert "0 simulated, 2 cached" in capsys.readouterr().out
+
+    def test_sweep_cache_stats_and_clear(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(["sweep", "pingpong", "--fragments", "64K",
+                     "--total", "256K", *cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "pingpong", "--cache-stats", *cache]) == 0
+        assert "2 entries" in capsys.readouterr().out
+        assert main(["sweep", "pingpong", "--cache-clear", *cache]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+
+    def test_sweep_unknown_grid_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["sweep", "not-a-grid"])
 
     def test_validate(self, capsys):
         assert main(["validate", "--size", "256K"]) == 0

@@ -34,11 +34,39 @@ class TestApiDocsGenerator:
             "repro.hicma.cholesky",
             "repro.bench.pingpong",
             "repro.analysis.latency",
+            "repro.faults.engine",
+            "repro.faults.transport",
+            "repro.sweep.spec",
+            "repro.sweep.cache",
+            "repro.sweep.engine",
         ):
             assert f"### `{mod}`" in text, f"missing {mod}"
 
     def test_checked_in_copy_exists(self):
         assert (ROOT / "docs" / "api.md").exists()
+
+    def test_checked_in_copy_covers_new_packages(self):
+        text = (ROOT / "docs" / "api.md").read_text()
+        for mod in ("repro.faults", "repro.sweep"):
+            assert f"### `{mod}`" in text, f"docs/api.md stale: missing {mod}"
+
+    def test_strict_docstrings_enforced(self, tmp_path):
+        """An undocumented public symbol in a strict package must fail."""
+        import shutil
+
+        src = tmp_path / "src" / "repro"
+        shutil.copytree(ROOT / "src" / "repro", src)
+        (src / "sweep" / "bare.py").write_text("def naked(x):\n    return x\n")
+        (tmp_path / "tools").mkdir()
+        tool = tmp_path / "tools" / "gen_api_docs.py"
+        shutil.copy(ROOT / "tools" / "gen_api_docs.py", tool)
+        proc = subprocess.run(
+            [sys.executable, str(tool), str(tmp_path / "api.md")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "repro.sweep.bare.naked" in proc.stderr
 
 
 class TestRepoCheckers:
@@ -51,6 +79,15 @@ class TestRepoCheckers:
             text=True,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_docs_in_sync(self):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
 
     def test_fault_determinism(self):
         # One backend keeps this under a few seconds; the checker still runs

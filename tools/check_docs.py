@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Verify that the documentation still matches the tree.
+
+Three families of drift are caught, all statically (no imports, no
+simulation):
+
+1. **Markdown links** — every relative ``[text](target)`` in the checked
+   pages must point at a file that exists (resolved against the page's own
+   directory; ``http(s)``/``mailto`` and pure ``#anchor`` links are
+   skipped).
+2. **Code references** — every backticked ``path/to/file.py`` must exist,
+   and a ``path/to/file.py:symbol`` form must name a function or class
+   actually defined in that file (checked with ``ast``, dotted names
+   resolve methods).
+3. **CLI verbs** — every ``python -m repro <verb>`` mentioned in the docs
+   must be a real subcommand of :func:`repro.cli.build_parser`, and every
+   real subcommand must be mentioned somewhere in the checked pages, so
+   new verbs cannot ship undocumented.
+
+Usage:  python tools/check_docs.py    (exit 0 = clean, 1 = drift found)
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Pages whose links/references are verified.
+PAGES = ["README.md", "EXPERIMENTS.md", "DESIGN.md", *sorted(
+    str(p.relative_to(ROOT)) for p in (ROOT / "docs").glob("*.md")
+)]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODEREF = re.compile(r"`([A-Za-z0-9_/.-]+\.py)(?::([A-Za-z0-9_.]+))?`")
+_VERB = re.compile(r"python -m repro ([a-z][a-z0-9-]*)")
+
+
+def check_links(page: pathlib.Path, text: str) -> list[str]:
+    """Relative markdown link targets must exist on disk."""
+    errors = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (page.parent / path).exists():
+            errors.append(f"{page.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def _defined_symbols(py: pathlib.Path) -> set[str]:
+    """Top-level functions/classes/assignments plus ``Class.method`` names."""
+    tree = ast.parse(py.read_text())
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            names.add(node.name)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(f"{node.name}.{item.name}")
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _resolve_code_ref(rel: str) -> "pathlib.Path | None":
+    """Find the file a doc reference names.
+
+    Repo-relative paths (``tools/gen_api_docs.py``) resolve directly;
+    package-relative fragments (``repro/config.py`` in DESIGN.md's layout
+    tree, or a bare ``core.py`` under its package heading) resolve against
+    ``src/`` and then by unique suffix match anywhere in the tree.
+    """
+    direct = ROOT / rel
+    if direct.exists():
+        return direct
+    under_src = ROOT / "src" / rel
+    if under_src.exists():
+        return under_src
+    hits = [
+        p for p in ROOT.rglob(rel.rsplit("/", 1)[-1])
+        if str(p).endswith("/" + rel) and ".git" not in p.parts
+    ]
+    return hits[0] if len(hits) == 1 else None
+
+
+def check_code_refs(page: pathlib.Path, text: str) -> list[str]:
+    """Backticked ``file.py`` / ``file.py:symbol`` references must resolve."""
+    errors = []
+    for match in _CODEREF.finditer(text):
+        rel, symbol = match.group(1), match.group(2)
+        py = _resolve_code_ref(rel)
+        if py is None:
+            errors.append(f"{page.relative_to(ROOT)}: missing file -> {rel}")
+            continue
+        if symbol and symbol not in _defined_symbols(py):
+            errors.append(
+                f"{page.relative_to(ROOT)}: {rel} does not define {symbol!r}"
+            )
+    return errors
+
+
+def cli_verbs() -> set[str]:
+    """The subcommands of ``python -m repro``, read from the AST of
+    ``src/repro/cli.py`` (``add_parser`` first arguments)."""
+    tree = ast.parse((ROOT / "src" / "repro" / "cli.py").read_text())
+    verbs = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            verbs.add(node.args[0].value)
+    return verbs
+
+
+def main() -> int:
+    errors: list[str] = []
+    verbs = cli_verbs()
+    mentioned: set[str] = set()
+    for rel in PAGES:
+        page = ROOT / rel
+        if not page.exists():
+            errors.append(f"checked page missing: {rel}")
+            continue
+        text = page.read_text()
+        errors += check_links(page, text)
+        errors += check_code_refs(page, text)
+        for match in _VERB.finditer(text):
+            verb = match.group(1)
+            mentioned.add(verb)
+            if verb not in verbs:
+                errors.append(f"{rel}: unknown CLI verb -> {verb}")
+        # A verb listed as bare `code` (e.g. the README's CLI-surface list)
+        # also counts as documented.
+        for verb in verbs:
+            if f"`{verb}`" in text:
+                mentioned.add(verb)
+    for verb in sorted(verbs - mentioned):
+        errors.append(f"CLI verb {verb!r} is not documented in any checked page")
+    if errors:
+        for err in errors:
+            print(err)
+        print(f"check_docs: {len(errors)} problem(s)")
+        return 1
+    print(f"check_docs: {len(PAGES)} pages, {len(verbs)} CLI verbs: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,9 @@
 """Generate docs/api.md: a compact API reference from the package's
 docstrings (no external dependencies — offline-friendly).
 
+Modules listed in ``STRICT_PACKAGES`` must document every public symbol —
+a missing module/class/function/method docstring there fails the build.
+
 Usage:  python tools/gen_api_docs.py [output]
 """
 
@@ -12,6 +15,9 @@ import pathlib
 import sys
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Dotted prefixes where every public symbol must carry a docstring.
+STRICT_PACKAGES = ("repro.sweep",)
 
 
 def first_line(doc: str | None) -> str:
@@ -37,31 +43,42 @@ def signature(node: ast.FunctionDef) -> str:
     return f"({', '.join(args)})"
 
 
-def render_module(path: pathlib.Path) -> list[str]:
+def render_module(path: pathlib.Path, missing: list[str]) -> list[str]:
     rel = path.relative_to(SRC.parent)
     modname = str(rel.with_suffix("")).replace("/", ".")
     if modname.endswith(".__init__"):
         modname = modname[: -len(".__init__")]
+    strict = modname.startswith(STRICT_PACKAGES)
     tree = ast.parse(path.read_text())
     lines = [f"### `{modname}`", ""]
     moddoc = first_line(ast.get_docstring(tree))
     if moddoc:
         lines += [moddoc + ".", ""]
+    elif strict:
+        missing.append(f"{modname}: module docstring")
     for node in tree.body:
         if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
-            lines.append(f"- **class `{node.name}`** — {first_line(ast.get_docstring(node))}")
+            doc = first_line(ast.get_docstring(node))
+            if strict and not doc:
+                missing.append(f"{modname}.{node.name}")
+            lines.append(f"- **class `{node.name}`** — {doc}")
             for item in node.body:
                 if (
                     isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
                     and not item.name.startswith("_")
                 ):
+                    itemdoc = first_line(ast.get_docstring(item))
+                    if strict and not itemdoc:
+                        missing.append(f"{modname}.{node.name}.{item.name}")
                     lines.append(
-                        f"  - `{item.name}{signature(item)}` — "
-                        f"{first_line(ast.get_docstring(item))}"
+                        f"  - `{item.name}{signature(item)}` — {itemdoc}"
                     )
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and not node.name.startswith("_"):
+            doc = first_line(ast.get_docstring(node))
+            if strict and not doc:
+                missing.append(f"{modname}.{node.name}")
             lines.append(
-                f"- `{node.name}{signature(node)}` — {first_line(ast.get_docstring(node))}"
+                f"- `{node.name}{signature(node)}` — {doc}"
             )
     lines.append("")
     return lines
@@ -75,10 +92,15 @@ def main(out: str) -> None:
         "edit by hand; re-run the script after changing public APIs.",
         "",
     ]
+    missing: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
         if path.name.startswith("_") and path.name != "__init__.py":
             continue
-        lines += render_module(path)
+        lines += render_module(path, missing)
+    if missing:
+        for entry in missing:
+            print(f"missing docstring: {entry}", file=sys.stderr)
+        sys.exit(1)
     pathlib.Path(out).write_text("\n".join(lines))
     print(f"wrote {out} ({len(lines)} lines)")
 
