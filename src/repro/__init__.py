@@ -14,18 +14,26 @@ The package provides:
 - :mod:`repro.hicma` — a tile low-rank (TLR) Cholesky factorization, both as
   real NumPy numerics and as a task-graph generator for simulated runs;
 - :mod:`repro.bench` / :mod:`repro.analysis` — the experiment harness that
-  regenerates every figure and table of the paper's evaluation.
+  regenerates every figure and table of the paper's evaluation;
+- :mod:`repro.explore` — a schedule-space explorer that replays scenarios
+  under alternative legal interleavings and checks protocol invariants.
 
 Quickstart::
 
-    from repro import quick_compare
-    result = quick_compare(fragment_size=128 * 1024)
+    from repro import Experiment
+    result = Experiment(workload="pingpong", backend="lci",
+                        fragment_size=128 * 1024).run()
     print(result.summary())
 """
 
 from repro._version import __version__
 from repro.api import (
     BackendKind,
+    Experiment,
+    HicmaResult,
+    OverlapResult,
+    PingPongResult,
+    Result,
     quick_compare,
     run_pingpong,
     run_overlap,
@@ -35,6 +43,11 @@ from repro.api import (
 __all__ = [
     "__version__",
     "BackendKind",
+    "Experiment",
+    "Result",
+    "PingPongResult",
+    "OverlapResult",
+    "HicmaResult",
     "quick_compare",
     "run_pingpong",
     "run_overlap",

@@ -1,16 +1,42 @@
-"""Top-level convenience API.
+"""Top-level public API: one coherent experiment surface.
 
-These helpers wrap the benchmark drivers in one-call form for interactive
-use and the examples.  Heavy imports happen lazily so that
-``import repro`` stays fast and so subsystems can be used independently.
+:class:`Experiment` is the single entry point — a keyword-only builder
+naming a workload (``pingpong``/``overlap``/``hicma``), a backend
+(:class:`BackendKind` or its string value, accepted uniformly), a node
+count, a seed, an optional fault plan, and workload-specific parameters.
+``.run()`` returns a typed frozen result dataclass
+(:class:`PingPongResult`/:class:`OverlapResult`/:class:`HicmaResult`).
+
+The historical one-call helpers (``run_pingpong``/``run_overlap``/
+``run_hicma``/``quick_compare``) remain as thin shims that emit
+:class:`DeprecationWarning` and delegate to :class:`Experiment`, so old
+call sites keep producing identical results.
+
+Heavy imports happen lazily so that ``import repro`` stays fast and so
+subsystems can be used independently.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Optional
 
-__all__ = ["BackendKind", "quick_compare", "run_pingpong", "run_overlap", "run_hicma"]
+from repro.errors import ConfigError
+
+__all__ = [
+    "BackendKind",
+    "Experiment",
+    "Result",
+    "PingPongResult",
+    "OverlapResult",
+    "HicmaResult",
+    "quick_compare",
+    "run_pingpong",
+    "run_overlap",
+    "run_hicma",
+]
 
 
 class BackendKind(str, enum.Enum):
@@ -23,6 +49,251 @@ class BackendKind(str, enum.Enum):
         return self.value
 
 
+def _normalize_backend(backend: "BackendKind | str") -> str:
+    """Accept a :class:`BackendKind` or its string value, uniformly."""
+    try:
+        return BackendKind(str(backend)).value
+    except ValueError:
+        known = ", ".join(k.value for k in BackendKind)
+        raise ConfigError(
+            f"unknown backend {backend!r} (known: {known})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Result:
+    """Common surface of one executed experiment.
+
+    Every workload reports the backend it ran on, the simulated
+    time-to-completion, the task count, and end-to-end flow-latency
+    statistics; subclasses add workload-specific measurements.
+    """
+
+    workload: str
+    backend: str
+    makespan: float
+    tasks: int
+    flow_latency: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.workload}[{self.backend}]: "
+            f"{self.makespan * 1e3:.3f} ms, {self.tasks} tasks"
+        )
+
+
+@dataclass(frozen=True)
+class PingPongResult(Result):
+    """Windowed ping-pong outcome (paper §6.2): achieved bandwidth."""
+
+    bandwidth: float = 0.0
+    iteration_times: tuple = ()
+    activates_sent: int = 0
+
+    @property
+    def bandwidth_gbit(self) -> float:
+        """Bandwidth in Gbit/s (the unit of the paper's Figure 2)."""
+        return self.bandwidth * 8 / 1e9
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.workload}[{self.backend}]: "
+            f"{self.bandwidth_gbit:.2f} Gbit/s over "
+            f"{len(self.iteration_times)} iterations"
+        )
+
+
+@dataclass(frozen=True)
+class OverlapResult(Result):
+    """Computation/communication overlap outcome (paper §6.3)."""
+
+    flops_per_s: float = 0.0
+    total_flops: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.workload}[{self.backend}]: "
+            f"{self.flops_per_s / 1e9:.2f} GFLOP/s sustained"
+        )
+
+
+@dataclass(frozen=True)
+class HicmaResult(Result):
+    """Simulated HiCMA TLR Cholesky outcome (paper §6.4)."""
+
+    time_to_solution: float = 0.0
+    msg_latency: dict = field(default_factory=dict)
+    activates_sent: int = 0
+    wire_bytes: int = 0
+    worker_utilization: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.workload}[{self.backend}]: "
+            f"time-to-solution {self.time_to_solution * 1e3:.3f} ms, "
+            f"{self.tasks} tasks, utilization {self.worker_utilization:.1%}"
+        )
+
+
+#: Workload name -> (config module path, config class, driver function).
+_WORKLOADS = {
+    "pingpong": ("repro.bench.pingpong", "PingPongConfig", "run_pingpong_benchmark"),
+    "overlap": ("repro.bench.overlap", "OverlapConfig", "run_overlap_benchmark"),
+    "hicma": ("repro.bench.hicma_bench", "HicmaConfig", "run_hicma_benchmark"),
+}
+
+
+class Experiment:
+    """One fully described simulation experiment (keyword-only builder).
+
+    ``workload`` picks the benchmark; ``backend`` takes a
+    :class:`BackendKind` or its string value; ``nodes``/``seed`` inject
+    into the workload config; ``faults`` is a
+    :class:`~repro.config.FaultConfig` or a named plan from
+    :data:`~repro.faults.plans.FAULT_PLANS`; remaining keyword arguments
+    are workload-config fields (e.g. ``fragment_size`` for ping-pong,
+    ``matrix_size``/``tile_size`` for HiCMA) and are validated eagerly
+    against the config dataclass — an unknown name raises
+    :class:`~repro.errors.ConfigError` at construction, not at run time.
+    """
+
+    def __init__(
+        self,
+        *,
+        workload: str,
+        backend: "BackendKind | str" = BackendKind.LCI,
+        nodes: Optional[int] = None,
+        seed: int = 0,
+        faults: Any = None,
+        **params: Any,
+    ):
+        if workload not in _WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {workload!r} "
+                f"(known: {', '.join(sorted(_WORKLOADS))})"
+            )
+        self.workload = workload
+        self.backend = _normalize_backend(backend)
+        self.nodes = nodes
+        self.seed = seed
+        if isinstance(faults, str):
+            from repro.faults.plans import fault_plan
+
+            faults = fault_plan(faults)
+        self.faults = faults
+        self.params = dict(params)
+        # Eager validation: building the config surfaces unknown or
+        # invalid parameters immediately.
+        self._config_cls()(**self._config_kwargs())
+
+    def _config_cls(self):
+        modname, clsname, _fn = _WORKLOADS[self.workload]
+        module = __import__(modname, fromlist=[clsname])
+        return getattr(module, clsname)
+
+    def _driver(self):
+        modname, _cls, fnname = _WORKLOADS[self.workload]
+        module = __import__(modname, fromlist=[fnname])
+        return getattr(module, fnname)
+
+    def _config_kwargs(self) -> dict:
+        import dataclasses
+
+        kwargs = dict(self.params)
+        kwargs["seed"] = self.seed
+        if self.nodes is not None:
+            kwargs["num_nodes"] = self.nodes
+        valid = {f.name for f in dataclasses.fields(self._config_cls())}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise ConfigError(
+                f"workload {self.workload!r} does not accept parameter(s) "
+                f"{unknown}; valid: {sorted(valid)}"
+            )
+        return kwargs
+
+    def config(self):
+        """The frozen workload config this experiment will run."""
+        return self._config_cls()(**self._config_kwargs())
+
+    def run(
+        self,
+        *,
+        platform=None,
+        schedule_policy=None,
+        ctx_observer=None,
+    ) -> Result:
+        """Execute the experiment and return its typed frozen result.
+
+        ``platform`` overrides the scaled default platform;
+        ``schedule_policy``/``ctx_observer`` pass through to the benchmark
+        driver (see :func:`repro.bench.pingpong.run_pingpong_benchmark`).
+        """
+        raw = self._driver()(
+            self.backend,
+            self.config(),
+            platform,
+            faults=self.faults,
+            schedule_policy=schedule_policy,
+            ctx_observer=ctx_observer,
+        )
+        return self._freeze(raw)
+
+    def _freeze(self, raw) -> Result:
+        if self.workload == "pingpong":
+            return PingPongResult(
+                workload=self.workload,
+                backend=self.backend,
+                makespan=raw.makespan,
+                tasks=raw.tasks,
+                flow_latency=dict(raw.flow_latency),
+                bandwidth=raw.bandwidth,
+                iteration_times=tuple(raw.iteration_times),
+                activates_sent=raw.activates_sent,
+            )
+        if self.workload == "overlap":
+            return OverlapResult(
+                workload=self.workload,
+                backend=self.backend,
+                makespan=raw.makespan,
+                tasks=raw.tasks,
+                flow_latency=dict(raw.flow_latency),
+                flops_per_s=raw.flops_per_s,
+                total_flops=raw.total_flops,
+            )
+        return HicmaResult(
+            workload=self.workload,
+            backend=self.backend,
+            makespan=raw.time_to_solution,
+            tasks=raw.tasks,
+            flow_latency=dict(raw.flow_latency),
+            time_to_solution=raw.time_to_solution,
+            msg_latency=dict(raw.msg_latency),
+            activates_sent=raw.activates_sent,
+            wire_bytes=raw.wire_bytes,
+            worker_utilization=raw.worker_utilization,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Experiment(workload={self.workload!r}, backend={self.backend!r}, "
+            f"nodes={self.nodes!r}, seed={self.seed!r}, params={self.params!r})"
+        )
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; use "
+        f"repro.Experiment(workload=..., ...).run() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_pingpong(
     fragment_size: int,
     backend: "BackendKind | str" = BackendKind.LCI,
@@ -32,23 +303,23 @@ def run_pingpong(
     iterations: int = 4,
     sync: bool = True,
     seed: int = 0,
-):
-    """Run the windowed ping-pong bandwidth benchmark (paper §6.2).
+) -> PingPongResult:
+    """Deprecated shim: run the ping-pong benchmark (paper §6.2).
 
-    Returns a :class:`repro.bench.pingpong.PingPongResult` with achieved
-    bandwidth and latency statistics.
+    Use ``Experiment(workload="pingpong", ...)`` instead; this delegates
+    there and returns the identical :class:`PingPongResult`.
     """
-    from repro.bench.pingpong import PingPongConfig, run_pingpong_benchmark
-
-    cfg = PingPongConfig(
+    _deprecated("run_pingpong")
+    return Experiment(
+        workload="pingpong",
+        backend=backend,
+        seed=seed,
         fragment_size=fragment_size,
         streams=streams,
         total_bytes=total_bytes,
         iterations=iterations,
         sync=sync,
-        seed=seed,
-    )
-    return run_pingpong_benchmark(str(backend), cfg)
+    ).run()
 
 
 def run_overlap(
@@ -57,12 +328,20 @@ def run_overlap(
     *,
     total_bytes: Optional[int] = None,
     seed: int = 0,
-):
-    """Run the computation/communication overlap benchmark (paper §6.3)."""
-    from repro.bench.overlap import OverlapConfig, run_overlap_benchmark
+) -> OverlapResult:
+    """Deprecated shim: run the overlap benchmark (paper §6.3).
 
-    cfg = OverlapConfig(fragment_size=fragment_size, total_bytes=total_bytes, seed=seed)
-    return run_overlap_benchmark(str(backend), cfg)
+    Use ``Experiment(workload="overlap", ...)`` instead; this delegates
+    there and returns the identical :class:`OverlapResult`.
+    """
+    _deprecated("run_overlap")
+    return Experiment(
+        workload="overlap",
+        backend=backend,
+        seed=seed,
+        fragment_size=fragment_size,
+        total_bytes=total_bytes,
+    ).run()
 
 
 def run_hicma(
@@ -73,29 +352,41 @@ def run_hicma(
     num_nodes: int = 4,
     multithreaded_activate: bool = False,
     seed: int = 0,
-):
-    """Run the simulated HiCMA TLR Cholesky (paper §6.4)."""
-    from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+) -> HicmaResult:
+    """Deprecated shim: run the simulated HiCMA TLR Cholesky (paper §6.4).
 
-    cfg = HicmaConfig(
+    Use ``Experiment(workload="hicma", ...)`` instead; this delegates
+    there and returns the identical :class:`HicmaResult`.
+    """
+    _deprecated("run_hicma")
+    return Experiment(
+        workload="hicma",
+        backend=backend,
+        nodes=num_nodes,
+        seed=seed,
         matrix_size=matrix_size,
         tile_size=tile_size,
-        num_nodes=num_nodes,
         multithreaded_activate=multithreaded_activate,
-        seed=seed,
-    )
-    return run_hicma_benchmark(str(backend), cfg)
+    ).run()
 
 
 def quick_compare(fragment_size: int = 128 * 1024, **kwargs):
-    """Run the ping-pong benchmark with both backends and report side by side.
+    """Deprecated shim: ping-pong on both backends, reported side by side.
 
-    Returns a :class:`repro.bench.report.Comparison`.
+    Use two ``Experiment(workload="pingpong", backend=...)`` runs and
+    :class:`repro.bench.report.Comparison` instead.  Returns a
+    :class:`~repro.bench.report.Comparison` over identical results.
     """
+    _deprecated("quick_compare")
     from repro.bench.report import Comparison
 
     results = {
-        str(kind): run_pingpong(fragment_size, kind, **kwargs)
+        kind.value: Experiment(
+            workload="pingpong",
+            backend=kind,
+            fragment_size=fragment_size,
+            **kwargs,
+        ).run()
         for kind in (BackendKind.MPI, BackendKind.LCI)
     }
     return Comparison(

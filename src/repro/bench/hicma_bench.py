@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.stats import summarize
+from repro.codec import DictCodec
 from repro.config import PlatformConfig, paper_scale_enabled, scaled_platform
 from repro.errors import BenchmarkError
 from repro.hicma.dag import build_tlr_cholesky_graph
@@ -47,7 +48,7 @@ def default_tile_sizes() -> list[int]:
 
 
 @dataclass(frozen=True)
-class HicmaConfig:
+class HicmaConfig(DictCodec):
     """One TLR Cholesky execution."""
 
     matrix_size: int
@@ -105,8 +106,16 @@ def run_hicma_benchmark(
     backend: str,
     cfg: HicmaConfig,
     platform: Optional[PlatformConfig] = None,
+    *,
+    faults=None,
+    schedule_policy=None,
+    ctx_observer=None,
 ) -> HicmaResult:
-    """Execute one TLR Cholesky on the simulated runtime."""
+    """Execute one TLR Cholesky on the simulated runtime.
+
+    ``faults``/``schedule_policy``/``ctx_observer`` follow the same
+    contract as :func:`repro.bench.pingpong.run_pingpong_benchmark`.
+    """
     if platform is None:
         if paper_scale_enabled():
             from repro.config import expanse_platform
@@ -131,7 +140,11 @@ def run_hicma_benchmark(
         multithreaded_activate=cfg.multithreaded_activate,
         clock_sync=cfg.clock_sync,
         seed=cfg.seed,
+        faults=faults,
+        schedule_policy=schedule_policy,
     )
+    if ctx_observer is not None:
+        ctx_observer(ctx)
     stats = ctx.run(graph, until=36_000.0)
     return HicmaResult(
         config=cfg,

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.codec import DictCodec
 from repro.config import PlatformConfig, paper_scale_enabled, scaled_platform
 from repro.errors import BenchmarkError
 from repro.runtime.context import ParsecContext
@@ -35,7 +36,7 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class OverlapConfig:
+class OverlapConfig(DictCodec):
     """Parameters of one overlap-benchmark execution."""
 
     fragment_size: int
@@ -128,8 +129,16 @@ def run_overlap_benchmark(
     backend: str,
     cfg: OverlapConfig,
     platform: Optional[PlatformConfig] = None,
+    *,
+    faults=None,
+    schedule_policy=None,
+    ctx_observer=None,
 ) -> OverlapResult:
-    """Execute one overlap configuration; returns achieved FLOP/s."""
+    """Execute one overlap configuration; returns achieved FLOP/s.
+
+    ``faults``/``schedule_policy``/``ctx_observer`` follow the same
+    contract as :func:`repro.bench.pingpong.run_pingpong_benchmark`.
+    """
     platform = platform or scaled_platform(num_nodes=cfg.num_nodes)
     pp_cfg = PingPongConfig(
         fragment_size=cfg.fragment_size,
@@ -142,7 +151,12 @@ def run_overlap_benchmark(
         seed=cfg.seed,
     )
     graph = build_pingpong_graph(pp_cfg, platform.compute.flops_per_core)
-    ctx = ParsecContext(platform, backend=backend, seed=cfg.seed)
+    ctx = ParsecContext(
+        platform, backend=backend, seed=cfg.seed,
+        faults=faults, schedule_policy=schedule_policy,
+    )
+    if ctx_observer is not None:
+        ctx_observer(ctx)
     stats = ctx.run(graph, until=3600.0)
     flops = _total_flops(cfg)
     if stats.makespan <= 0:

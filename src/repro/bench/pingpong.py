@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.stats import summarize
+from repro.codec import DictCodec
 from repro.config import PlatformConfig, paper_scale_enabled, scaled_platform
 from repro.errors import BenchmarkError
 from repro.runtime.context import ParsecContext
@@ -44,7 +45,7 @@ def default_granularities() -> list[int]:
 
 
 @dataclass(frozen=True)
-class PingPongConfig:
+class PingPongConfig(DictCodec):
     """Parameters of one ping-pong execution."""
 
     fragment_size: int
@@ -185,11 +186,28 @@ def run_pingpong_benchmark(
     backend: str,
     cfg: PingPongConfig,
     platform: Optional[PlatformConfig] = None,
+    *,
+    faults=None,
+    schedule_policy=None,
+    ctx_observer=None,
 ) -> PingPongResult:
-    """Execute one ping-pong configuration and compute its bandwidth."""
+    """Execute one ping-pong configuration and compute its bandwidth.
+
+    ``faults`` (a :class:`~repro.config.FaultConfig`) and
+    ``schedule_policy`` (a :class:`~repro.sim.core.SchedulePolicy`) pass
+    straight to the :class:`ParsecContext`; ``ctx_observer(ctx)`` is
+    invoked after context construction and before the run so callers such
+    as the schedule explorer can install audits and inspect the context
+    post-run.  All three default to the plain benchmark behaviour.
+    """
     platform = platform or scaled_platform(num_nodes=cfg.num_nodes)
     graph = build_pingpong_graph(cfg, platform.compute.flops_per_core)
-    ctx = ParsecContext(platform, backend=backend, seed=cfg.seed)
+    ctx = ParsecContext(
+        platform, backend=backend, seed=cfg.seed,
+        faults=faults, schedule_policy=schedule_policy,
+    )
+    if ctx_observer is not None:
+        ctx_observer(ctx)
     # Track per-iteration completion times through the task-done hook.
     iter_done: dict[int, float] = {}
     inner = ctx.on_task_done

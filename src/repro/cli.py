@@ -10,9 +10,16 @@ Commands
 ``netpipe``      raw fabric ping-pong baseline for a list of sizes
 ``compare``      MPI vs LCI side-by-side on the ping-pong benchmark
 ``validate``     simulator self-checks against closed-form models
+``explore``      schedule-space exploration: re-run a scenario under
+                 alternative legal interleavings, check protocol invariants
 ``trace-export`` run a small job with observability on, export the trace
 ``chaos``        run TLR Cholesky under a named fault plan, report recovery
 ``info``         print the calibrated platform constants
+
+Every verb spells the shared knobs identically — ``--backend``,
+``--seed``, ``--nodes``, ``--jobs`` — via a common parent parser
+(:func:`_common_flags`); old spellings (``--num-nodes``) remain as hidden
+aliases.
 """
 
 from __future__ import annotations
@@ -40,6 +47,37 @@ def _size(text: str) -> int:
         raise argparse.ArgumentTypeError(f"bad size: {text!r}") from exc
 
 
+def _common_flags(
+    *,
+    backend: Optional[str] = None,
+    seed: Optional[int] = None,
+    nodes: Optional[int] = None,
+    jobs: Optional[int] = None,
+    backend_choices: Sequence[str] = ("mpi", "lci"),
+) -> argparse.ArgumentParser:
+    """Parent parser for the flags every verb spells identically.
+
+    Pass a default to include a flag on the verb; leave it ``None`` to
+    omit it.  ``--num-nodes`` is kept as a hidden alias for ``--nodes``.
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    if backend is not None:
+        p.add_argument("--backend", choices=list(backend_choices),
+                       default=backend)
+    if seed is not None:
+        p.add_argument("--seed", type=int, default=seed,
+                       help="simulation RNG seed")
+    if nodes is not None:
+        p.add_argument("--nodes", type=int, default=nodes,
+                       help="simulated node count")
+        p.add_argument("--num-nodes", dest="nodes", type=int,
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    if jobs is not None:
+        p.add_argument("--jobs", type=int, default=jobs,
+                       help="worker processes (1 = run in-process)")
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -51,24 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    pp = sub.add_parser("pingpong", help="ping-pong bandwidth (Fig. 2)")
-    pp.add_argument("--backend", choices=["mpi", "lci"], default="lci")
+    pp = sub.add_parser("pingpong", help="ping-pong bandwidth (Fig. 2)",
+                        parents=[_common_flags(backend="lci", seed=0, nodes=2)])
     pp.add_argument("--fragment", type=_size, default=_size("128K"))
     pp.add_argument("--total", type=_size, default=None, help="bytes per iteration")
     pp.add_argument("--streams", type=int, default=1)
     pp.add_argument("--iterations", type=int, default=6)
     pp.add_argument("--no-sync", action="store_true")
 
-    ov = sub.add_parser("overlap", help="compute/comm overlap (Fig. 3)")
-    ov.add_argument("--backend", choices=["mpi", "lci"], default="lci")
+    ov = sub.add_parser("overlap", help="compute/comm overlap (Fig. 3)",
+                        parents=[_common_flags(backend="lci", seed=0, nodes=2)])
     ov.add_argument("--fragment", type=_size, default=_size("512K"))
     ov.add_argument("--total", type=_size, default=None)
 
-    hc = sub.add_parser("hicma", help="TLR Cholesky (Fig. 4/5)")
-    hc.add_argument("--backend", choices=["mpi", "lci"], default="lci")
+    hc = sub.add_parser("hicma", help="TLR Cholesky (Fig. 4/5)",
+                        parents=[_common_flags(backend="lci", seed=0, nodes=4)])
     hc.add_argument("--matrix", type=int, default=36_000)
     hc.add_argument("--tile", type=int, default=1200)
-    hc.add_argument("--nodes", type=int, default=4)
     hc.add_argument("--mt-activate", action="store_true",
                     help="workers send ACTIVATEs directly (§6.4.3)")
     hc.add_argument("--native-put", action="store_true",
@@ -80,7 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     np_.add_argument("sizes", nargs="*", type=_size,
                      default=[_size(s) for s in ("4K", "64K", "1M", "8M")])
 
-    cp = sub.add_parser("compare", help="MPI vs LCI ping-pong side by side")
+    cp = sub.add_parser("compare", help="MPI vs LCI ping-pong side by side",
+                        parents=[_common_flags(seed=0)])
     cp.add_argument("--fragment", type=_size, default=_size("128K"))
     cp.add_argument("--total", type=_size, default=None)
 
@@ -88,11 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a named experiment grid through the parallel, cached "
         "sweep engine and print its figure table",
+        parents=[_common_flags(jobs=1)],
     )
     sw.add_argument("grid", choices=["fig4", "fig5", "pingpong"],
                     help="which experiment grid to run")
-    sw.add_argument("--jobs", type=int, default=1,
-                    help="worker processes (1 = run in-process)")
     sw.add_argument("--no-cache", action="store_true",
                     help="simulate every point, ignore the result cache")
     sw.add_argument("--cache-dir", metavar="PATH", default=None,
@@ -114,32 +151,59 @@ def build_parser() -> argparse.ArgumentParser:
     va = sub.add_parser("validate", help="simulator self-checks vs closed forms")
     va.add_argument("--size", type=_size, default=_size("1M"))
 
+    from repro.explore.scenarios import SCENARIO_KINDS
+    from repro.faults.plans import FAULT_PLANS
+
+    ex = sub.add_parser(
+        "explore",
+        help="explore alternative schedules of a scenario and check "
+        "protocol invariants (quiescence, matching, deadlock, invariance)",
+        parents=[_common_flags(backend="lci", seed=0, nodes=2, jobs=1)],
+    )
+    ex.add_argument("scenario", nargs="?", choices=list(SCENARIO_KINDS),
+                    default="pingpong",
+                    help="which workload scenario to explore")
+    ex.add_argument("--max-schedules", type=int, default=50,
+                    help="total schedule budget (baseline + alternatives)")
+    ex.add_argument("--budget", type=int, default=24,
+                    help="choice points each run may perturb")
+    mode = ex.add_mutually_exclusive_group()
+    mode.add_argument("--dfs", action="store_true",
+                      help="bounded DFS over decision prefixes (default)")
+    mode.add_argument("--walk", action="store_true",
+                      help="seeded random walks instead of DFS")
+    ex.add_argument("--walk-seed", type=int, default=0,
+                    help="base seed for --walk runs")
+    ex.add_argument("--faults", metavar="PLAN", default=None,
+                    choices=sorted(FAULT_PLANS),
+                    help="explore under a named fault plan")
+    ex.add_argument("--replay", metavar="FILE", default=None,
+                    help="replay a schedule.json instead of exploring")
+    ex.add_argument("--out", metavar="PATH", default="schedule.json",
+                    help="where to write the failing schedule, if any")
+
     te = sub.add_parser(
         "trace-export",
         help="run a small TLR Cholesky job with observability on and export "
         "the event trace (Chrome about://tracing JSON or CSV)",
+        parents=[_common_flags(backend="lci", seed=0, nodes=2)],
     )
-    te.add_argument("--backend", choices=["mpi", "lci"], default="lci")
     te.add_argument("--matrix", type=int, default=7200)
     te.add_argument("--tile", type=int, default=1200)
-    te.add_argument("--nodes", type=int, default=2)
     te.add_argument("--format", choices=["chrome", "csv"], default="chrome")
     te.add_argument("--out", metavar="PATH", default=None,
                     help="output file (default: trace.json / trace.csv)")
-
-    from repro.faults.plans import FAULT_PLANS
 
     ch = sub.add_parser(
         "chaos",
         help="run a small TLR Cholesky job under a named fault plan and "
         "report per-fault-kind injection/recovery counts",
+        parents=[_common_flags(backend="both", seed=0, nodes=2,
+                               backend_choices=("mpi", "lci", "both"))],
     )
     ch.add_argument("--plan", choices=sorted(FAULT_PLANS), default="chaos")
-    ch.add_argument("--backend", choices=["mpi", "lci", "both"], default="both")
     ch.add_argument("--matrix", type=int, default=7200)
     ch.add_argument("--tile", type=int, default=1200)
-    ch.add_argument("--nodes", type=int, default=2)
-    ch.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("info", help="print calibrated platform constants")
     return parser
@@ -155,6 +219,8 @@ def cmd_pingpong(args) -> int:
         total_bytes=args.total,
         iterations=args.iterations,
         sync=not args.no_sync,
+        num_nodes=args.nodes,
+        seed=args.seed,
     )
     result = run_pingpong_benchmark(args.backend, cfg)
     print(result.summary())
@@ -173,8 +239,9 @@ def cmd_overlap(args) -> int:
     )
     from repro.config import scaled_platform
 
-    platform = scaled_platform(num_nodes=2)
-    cfg = OverlapConfig(fragment_size=args.fragment, total_bytes=args.total)
+    platform = scaled_platform(num_nodes=args.nodes)
+    cfg = OverlapConfig(fragment_size=args.fragment, total_bytes=args.total,
+                        num_nodes=args.nodes, seed=args.seed)
     result = run_overlap_benchmark(args.backend, cfg, platform)
     print(result.summary())
     print(f"  roofline  : {roofline_flops(cfg, platform) / 1e12:.3f} TFLOP/s")
@@ -196,6 +263,7 @@ def cmd_hicma(args) -> int:
         tile_size=args.tile,
         num_nodes=args.nodes,
         multithreaded_activate=args.mt_activate,
+        seed=args.seed,
     )
     if args.native_put:
         platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=8)
@@ -206,7 +274,7 @@ def cmd_hicma(args) -> int:
         )
         ctx = ParsecContext(
             platform, backend="lci", native_put=True,
-            multithreaded_activate=args.mt_activate,
+            multithreaded_activate=args.mt_activate, seed=args.seed,
         )
         stats = ctx.run(graph, until=36_000.0)
         print(f"hicma[lci, native put] N={cfg.matrix_size} tile={cfg.tile_size} "
@@ -238,11 +306,71 @@ def cmd_netpipe(args) -> int:
 
 def cmd_compare(args) -> int:
     """Run MPI and LCI side by side on the ping-pong benchmark."""
-    from repro.api import quick_compare
+    from repro.api import BackendKind, Experiment
+    from repro.bench.report import Comparison
 
-    comp = quick_compare(fragment_size=args.fragment, total_bytes=args.total)
+    results = {
+        kind.value: Experiment(
+            workload="pingpong",
+            backend=kind,
+            seed=args.seed,
+            fragment_size=args.fragment,
+            total_bytes=args.total,
+        ).run()
+        for kind in (BackendKind.MPI, BackendKind.LCI)
+    }
+    comp = Comparison(
+        title=f"ping-pong @ fragment={args.fragment} B",
+        results=results,
+        metric="bandwidth_gbit",
+        higher_is_better=True,
+    )
     print(comp.summary())
     return 0
+
+
+def cmd_explore(args) -> int:
+    """Explore alternative schedules of a scenario, or replay one."""
+    from repro.explore import (
+        ExploreConfig,
+        default_scenario,
+        replay_schedule,
+        run_explore,
+        write_schedule,
+    )
+
+    if args.replay:
+        scenario, record = replay_schedule(args.replay)
+        violations = record["violations"]
+        status = "violated" if violations else "clean"
+        print(f"replay[{scenario.label()}]: {status}, "
+              f"digest={record['digest']}")
+        for kind, detail in violations:
+            print(f"  [{kind}] {detail}")
+        return 1 if violations else 0
+
+    scenario = default_scenario(
+        args.scenario, backend=args.backend, nodes=args.nodes,
+        seed=args.seed, fault_plan=args.faults,
+    )
+    config = ExploreConfig(
+        max_schedules=args.max_schedules,
+        budget=args.budget,
+        mode="walk" if args.walk else "dfs",
+        walk_seed=args.walk_seed,
+        jobs=args.jobs,
+    )
+    outcome = run_explore(scenario, config)
+    print(outcome.summary())
+    if outcome.ok:
+        return 0
+    decisions = (outcome.shrunk if outcome.shrunk is not None
+                 else list(outcome.findings[0].decisions))
+    doc = write_schedule(args.out, scenario, decisions, config.budget,
+                         violations=outcome.findings[0].violations)
+    print(f"  wrote {args.out} (key {doc['key'][:12]}…), replay with: "
+          f"python -m repro explore --replay {args.out}")
+    return 1
 
 
 def cmd_trace_export(args) -> int:
@@ -261,7 +389,8 @@ def cmd_trace_export(args) -> int:
         rank_model=RankModel(nt, args.tile),
         time_model=KernelTimeModel(platform.compute),
     )
-    ctx = ParsecContext(platform, backend=args.backend, observability=True)
+    ctx = ParsecContext(platform, backend=args.backend, observability=True,
+                        seed=args.seed)
     stats = ctx.run(graph, until=36_000.0)
     sink = ChromeTraceSink() if args.format == "chrome" else CsvSink()
     ctx.obs.export(sink)
@@ -373,6 +502,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "validate": cmd_validate,
+    "explore": cmd_explore,
     "trace-export": cmd_trace_export,
     "chaos": cmd_chaos,
     "info": cmd_info,

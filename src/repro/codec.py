@@ -1,0 +1,134 @@
+"""The repository's single canonical-JSON codec.
+
+Every surface that serializes structured data — sweep cache keys
+(:func:`repro.sweep.cache.stable_hash`), config ``to_dict``/``from_dict``
+round-trips, and the explorer's replayable ``schedule.json`` — goes
+through this module, so there is exactly one notion of "the canonical
+form of this value" in the tree:
+
+- :func:`canonical_json` — sorted keys, no whitespace, ``allow_nan=False``
+  (exact for finite doubles, rejects NaN/Inf instead of silently writing
+  non-standard JSON);
+- :func:`stable_hash` — SHA-256 of the canonical text;
+- :func:`to_plain` — recursively lowers dataclasses and tuples into
+  JSON-plain dicts/lists;
+- :class:`DictCodec` — a mixin giving frozen config dataclasses a
+  validated ``to_dict()``/``from_dict()`` pair built on the above.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import ConfigError
+
+__all__ = ["canonical_json", "stable_hash", "to_plain", "DictCodec"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize ``payload`` to canonical JSON text.
+
+    Sorted keys and compact separators make the text independent of dict
+    insertion order; ``allow_nan=False`` keeps it strictly standard JSON.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 hex digest of ``payload``'s canonical JSON text."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def to_plain(value: Any) -> Any:
+    """Recursively lower ``value`` into JSON-plain Python data.
+
+    Dataclass instances become dicts of their fields, tuples become
+    lists (matching what a JSON round-trip would produce), dicts and
+    lists recurse; everything else passes through unchanged.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {key: to_plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_plain(item) for item in value]
+    return value
+
+
+def _field_exemplar(field: dataclasses.Field) -> Any:
+    """The field's default value, instantiating a default factory."""
+    if field.default is not dataclasses.MISSING:
+        return field.default
+    if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return field.default_factory()  # type: ignore[misc]
+    return dataclasses.MISSING
+
+
+class DictCodec:
+    """``to_dict``/``from_dict`` mixin for frozen config dataclasses.
+
+    ``to_dict`` lowers the instance through :func:`to_plain`, so its
+    output is exactly what :func:`canonical_json` would re-read — one
+    serializer for cache keys, sweeps, and schedule files alike.
+    ``from_dict`` is the validated inverse: unknown keys and missing
+    required keys raise :class:`~repro.errors.ConfigError`, nested
+    config dataclasses are rebuilt recursively, and lists are coerced
+    back to tuples where the field's default is a tuple.
+    """
+
+    def to_dict(self) -> dict:
+        """JSON-plain dict of this config's fields (canonical form)."""
+        return to_plain(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "DictCodec":
+        """Rebuild an instance from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.ConfigError` on a non-dict payload,
+        unknown keys, missing required keys, or values the target
+        class's own validation rejects.
+        """
+        if not isinstance(doc, dict):
+            raise ConfigError(
+                f"{cls.__name__}.from_dict expects a dict, got {type(doc).__name__}"
+            )
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(doc) - set(fields))
+        if unknown:
+            raise ConfigError(
+                f"{cls.__name__}.from_dict: unknown key(s) {unknown}; "
+                f"valid keys: {sorted(fields)}"
+            )
+        kwargs = {}
+        for name, field in fields.items():
+            if name not in doc:
+                if _field_exemplar(field) is dataclasses.MISSING:
+                    raise ConfigError(
+                        f"{cls.__name__}.from_dict: missing required key {name!r}"
+                    )
+                continue
+            kwargs[name] = _revive(field, doc[name])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"{cls.__name__}.from_dict: {exc}") from exc
+
+
+def _revive(field: dataclasses.Field, value: Any) -> Any:
+    """Undo :func:`to_plain` for one field, guided by its default value."""
+    exemplar = _field_exemplar(field)
+    if (
+        dataclasses.is_dataclass(exemplar)
+        and isinstance(exemplar, DictCodec)
+        and isinstance(value, dict)
+    ):
+        return type(exemplar).from_dict(value)
+    if isinstance(exemplar, tuple) and isinstance(value, list):
+        return tuple(value)
+    return value

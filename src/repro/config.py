@@ -31,6 +31,7 @@ import dataclasses
 import os
 from dataclasses import dataclass, field, replace
 
+from repro.codec import DictCodec
 from repro.errors import ConfigError
 from repro.units import KiB, MiB, US, NS, bytes_per_s_from_gbit
 
@@ -69,7 +70,7 @@ def _no_negative_numbers(cfg) -> None:
 
 
 @dataclass(frozen=True)
-class NetworkConfig:
+class NetworkConfig(DictCodec):
     """Fabric model parameters (LogGP-style), per Table 1 of the paper.
 
     Expanse nodes have 2× HDR InfiniBand links at 50 Gbit/s each, giving
@@ -111,7 +112,7 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
-class MpiCosts:
+class MpiCosts(DictCodec):
     """Per-operation CPU costs of the simulated MPI library (Open MPI/UCX).
 
     These are the costs *charged to the calling thread*; they model the
@@ -158,7 +159,7 @@ class MpiCosts:
 
 
 @dataclass(frozen=True)
-class LciCosts:
+class LciCosts(DictCodec):
     """Per-operation CPU costs of the simulated LCI library."""
 
     #: Maximum size of an Immediate (inline) message — about a cache line.
@@ -207,7 +208,7 @@ class LciCosts:
 
 
 @dataclass(frozen=True)
-class RuntimeCosts:
+class RuntimeCosts(DictCodec):
     """Per-operation CPU costs of the PaRSEC-like runtime layer."""
 
     #: Packing one dataflow into an ACTIVATE message.
@@ -245,7 +246,7 @@ class RuntimeCosts:
 
 
 @dataclass(frozen=True)
-class ComputeConfig:
+class ComputeConfig(DictCodec):
     """Worker-core compute model."""
 
     #: Effective double-precision rate of one core for GEMM-like kernels
@@ -257,7 +258,7 @@ class ComputeConfig:
 
 
 @dataclass(frozen=True)
-class FaultConfig:
+class FaultConfig(DictCodec):
     """One deterministic fault-injection plan (see ``docs/faults.md``).
 
     All probabilities are per *transmission attempt* on the wire; all rates
@@ -370,7 +371,7 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
-class SweepConfig:
+class SweepConfig(DictCodec):
     """Execution policy for one :mod:`repro.sweep` run (see
     ``docs/performance.md``).
 
@@ -406,7 +407,7 @@ class SweepConfig:
 
 
 @dataclass(frozen=True)
-class PlatformConfig:
+class PlatformConfig(DictCodec):
     """A complete simulated platform: nodes, cores, fabric, library costs."""
 
     name: str = "expanse"

@@ -49,3 +49,8 @@ class HicmaError(ReproError):
 
 class BenchmarkError(ReproError):
     """Benchmark harness configuration error."""
+
+
+class ExploreError(ReproError):
+    """Schedule-space explorer misuse: an unknown scenario, an unreadable
+    or version-mismatched schedule file, or an invalid exploration bound."""

@@ -1,0 +1,376 @@
+"""The schedule-space exploration engine.
+
+Given a :class:`~repro.explore.scenarios.Scenario`, the explorer runs the
+baseline FIFO schedule first (recording every choice point), then
+enumerates alternative interleavings:
+
+- **DFS mode** — a bounded depth-first search over decision prefixes: for
+  each recorded choice point within the budget, each alternative candidate
+  (up to ``max_branch``) spawns a new prefix; prefixes whose swapped
+  candidate has a known rank scope disjoint from everything it overtakes
+  are pruned (sleep-set style — swapping commuting events cannot reach a
+  new state).
+- **Walk mode** — seeded random walks: each run picks uniformly at every
+  budgeted choice point; the decisions actually taken are recorded, so any
+  failing walk replays exactly.
+
+Every run is checked against the protocol invariants
+(:mod:`repro.explore.invariants`) plus result invariance against the
+baseline digest.  On the first violation the failing decision list is
+shrunk to a minimal prefix (binary search on length, then zeroing
+individual decisions) — small enough to read, and replayable via
+``python -m repro explore --replay schedule.json``.
+
+With ``jobs > 1`` schedule batches fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, mirroring the sweep
+engine: run records cross the process boundary as canonical JSON.  Note
+that in-process monkeypatching (the mutation smoke test) requires
+``jobs=1`` so the mutant is visible to the runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.codec import canonical_json
+from repro.errors import ExploreError
+from repro.explore.policy import MAX_BRANCH, RandomWalkPolicy, ReplayPolicy
+from repro.explore.scenarios import Scenario, run_scenario
+from repro.explore.schedule import load_schedule
+from repro.obs.bus import NULL_BUS
+
+__all__ = [
+    "ExploreConfig",
+    "Finding",
+    "ExploreOutcome",
+    "run_explore",
+    "replay_schedule",
+]
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Exploration bounds and mode.
+
+    ``budget`` caps how many choice points each run may perturb;
+    ``max_schedules`` caps the total runs (baseline + alternatives);
+    ``shrink_budget`` caps the extra runs spent minimizing a failure.
+    """
+
+    max_schedules: int = 50
+    budget: int = 24
+    mode: str = "dfs"
+    walk_seed: int = 0
+    jobs: int = 1
+    max_branch: int = MAX_BRANCH
+    shrink_budget: int = 32
+    stop_on_violation: bool = True
+
+    def __post_init__(self):
+        if self.mode not in ("dfs", "walk"):
+            raise ExploreError(f"unknown exploration mode {self.mode!r}")
+        if self.max_schedules < 1 or self.budget < 1 or self.jobs < 1:
+            raise ExploreError("exploration bounds must be positive")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One failing schedule: where it was found and how to replay it."""
+
+    schedule_index: int
+    #: Positional decision list that reproduces the failure.
+    decisions: tuple
+    #: ``[kind, detail]`` pairs from the invariant checkers.
+    violations: tuple
+
+
+@dataclass
+class ExploreOutcome:
+    """Everything one exploration produced."""
+
+    scenario: Scenario
+    config: ExploreConfig
+    schedules_run: int = 0
+    pruned: int = 0
+    #: Highest choice-point count observed across runs.
+    total_sites: int = 0
+    baseline_digest: Optional[dict] = None
+    findings: list = field(default_factory=list)
+    #: Minimal failing decision prefix (after shrinking), None when clean.
+    shrunk: Optional[list] = None
+    shrink_runs: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every explored schedule satisfied every invariant."""
+        return not self.findings
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"explore[{self.scenario.label()}] mode={self.config.mode}: "
+            f"{self.schedules_run} schedules, {self.pruned} pruned, "
+            f"{self.total_sites} choice points, {self.wall_time:.1f}s wall",
+        ]
+        if self.ok:
+            lines.append("  all invariants hold on every explored schedule")
+        else:
+            first = self.findings[0]
+            lines.append(
+                f"  {len(self.findings)} failing schedule(s); first at "
+                f"run {first.schedule_index}:"
+            )
+            for kind, detail in first.violations[:4]:
+                lines.append(f"    [{kind}] {detail}")
+            if self.shrunk is not None:
+                lines.append(
+                    f"  shrunk to {len(self.shrunk)} decision(s) "
+                    f"{list(self.shrunk)} in {self.shrink_runs} extra runs"
+                )
+        return "\n".join(lines)
+
+
+def _execute(scenario_doc: dict, spec: dict) -> dict:
+    """Run one schedule (worker-process safe) and return its record.
+
+    ``spec`` is either ``{"decisions": [...], "budget": n}`` (replay) or
+    ``{"walk_seed": s, "budget": n}`` (random walk).  Records round-trip
+    through canonical JSON so in-process and pooled execution return
+    byte-identical structures.
+    """
+    scenario = Scenario.from_dict(scenario_doc)
+    if "walk_seed" in spec:
+        policy = RandomWalkPolicy(spec["walk_seed"], spec["budget"])
+    else:
+        policy = ReplayPolicy(spec["decisions"], spec["budget"])
+    return json.loads(canonical_json(run_scenario(scenario, policy)))
+
+
+def _strip_zeros(decisions) -> list:
+    """Drop trailing FIFO decisions — they are the default anyway."""
+    out = list(decisions)
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def _prunable(site: dict, alt: int) -> bool:
+    """Sleep-set-style check: does swapping ``alt`` to the front commute?
+
+    Choosing candidate ``alt`` instead of FIFO bubbles it past candidates
+    ``0..alt-1``.  If its rank scope is known and disjoint from each of
+    theirs, the swap reorders only commuting events and cannot reach a new
+    protocol state.  Unknown scopes conservatively conflict.
+    """
+    scopes = site["scopes"]
+    if alt >= len(scopes) or scopes[alt] is None:
+        return False
+    mine = set(scopes[alt])
+    for j in range(alt):
+        other = scopes[j]
+        if other is None or mine & set(other):
+            return False
+    return True
+
+
+def run_explore(scenario: Scenario, config: Optional[ExploreConfig] = None,
+                obs=NULL_BUS) -> ExploreOutcome:
+    """Explore ``scenario``'s schedule space within ``config``'s bounds."""
+    config = config or ExploreConfig()
+    outcome = ExploreOutcome(scenario=scenario, config=config)
+    doc = scenario.to_dict()
+    t0 = time.perf_counter()
+    c_runs = obs.counter("explore.schedules")
+    c_viol = obs.counter("explore.violations")
+    c_pruned = obs.counter("explore.pruned")
+    obs.emit(
+        "explore_start", -1, key=scenario.label(),
+        info={"mode": config.mode, "max_schedules": config.max_schedules,
+              "budget": config.budget}, time=0.0,
+    )
+
+    pool = (
+        ProcessPoolExecutor(max_workers=config.jobs)
+        if config.jobs > 1 else None
+    )
+
+    def execute_batch(specs: list) -> list:
+        if pool is None:
+            return [_execute(doc, spec) for spec in specs]
+        return list(pool.map(_execute, [doc] * len(specs), specs))
+
+    def process(record: dict, decisions: list) -> bool:
+        """Account one run; True when it violated an invariant."""
+        index = outcome.schedules_run
+        outcome.schedules_run += 1
+        c_runs.inc()
+        outcome.total_sites = max(outcome.total_sites, record["total_sites"])
+        violations = list(record["violations"])
+        if not violations and record["digest"] is not None:
+            if outcome.baseline_digest is None:
+                outcome.baseline_digest = record["digest"]
+            elif record["digest"] != outcome.baseline_digest:
+                violations.append([
+                    "invariance",
+                    f"result digest {record['digest']} differs from "
+                    f"baseline {outcome.baseline_digest}",
+                ])
+        obs.emit(
+            "explore_schedule", -1, key=scenario.label(),
+            info={"index": index, "decisions": len(decisions),
+                  "violations": len(violations)}, time=0.0,
+        )
+        if not violations:
+            return False
+        taken = _strip_zeros(record.get("taken", decisions))
+        outcome.findings.append(Finding(
+            schedule_index=index,
+            decisions=tuple(taken),
+            violations=tuple(tuple(v) for v in violations),
+        ))
+        c_viol.inc()
+        for kind, detail in violations:
+            obs.emit("explore_violation", -1, key=kind, info=detail, time=0.0)
+        return True
+
+    def expansions(record: dict, decisions: list) -> list:
+        """DFS children of a run: one alternative per unexplored site."""
+        children = []
+        sites = record.get("sites", [])
+        for pos in range(len(decisions), len(sites)):
+            site = sites[pos]
+            pad = [0] * (pos - len(decisions))
+            for alt in range(1, min(site["n"], config.max_branch)):
+                if _prunable(site, alt):
+                    outcome.pruned += 1
+                    c_pruned.inc()
+                    continue
+                children.append(decisions + pad + [alt])
+        return children
+
+    try:
+        baseline = execute_batch([{"decisions": [], "budget": config.budget}])[0]
+        violated = process(baseline, [])
+        if config.mode == "walk":
+            _walk(outcome, config, execute_batch, process, violated)
+        else:
+            _dfs(outcome, config, execute_batch, process, expansions,
+                 baseline, violated)
+        if outcome.findings:
+            _shrink(outcome, config, doc)
+            obs.emit("explore_shrunk", -1, key=scenario.label(),
+                     info={"decisions": outcome.shrunk,
+                           "runs": outcome.shrink_runs}, time=0.0)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    outcome.wall_time = time.perf_counter() - t0
+    obs.emit(
+        "explore_end", -1, key=scenario.label(),
+        info={"schedules": outcome.schedules_run, "pruned": outcome.pruned,
+              "findings": len(outcome.findings)}, time=0.0,
+    )
+    return outcome
+
+
+def _walk(outcome, config, execute_batch, process, violated: bool) -> None:
+    """Random-walk enumeration: one seeded run per remaining slot."""
+    if violated and config.stop_on_violation:
+        return
+    next_seed = config.walk_seed + 1
+    while outcome.schedules_run < config.max_schedules:
+        width = min(
+            max(config.jobs, 1),
+            config.max_schedules - outcome.schedules_run,
+        )
+        specs = [
+            {"walk_seed": next_seed + i, "budget": config.budget}
+            for i in range(width)
+        ]
+        next_seed += width
+        for spec, record in zip(specs, execute_batch(specs)):
+            if process(record, []) and config.stop_on_violation:
+                return
+
+
+def _dfs(outcome, config, execute_batch, process, expansions,
+         baseline: dict, violated: bool) -> None:
+    """Bounded DFS over decision prefixes, batched ``jobs`` at a time."""
+    if violated and config.stop_on_violation:
+        return
+    stack: list = list(reversed(expansions(baseline, [])))
+    seen = {()}
+    while stack and outcome.schedules_run < config.max_schedules:
+        batch = []
+        while stack and len(batch) < max(config.jobs, 1) and (
+            outcome.schedules_run + len(batch) < config.max_schedules
+        ):
+            decisions = stack.pop()
+            key = tuple(decisions)
+            if key in seen:
+                continue
+            seen.add(key)
+            batch.append(decisions)
+        if not batch:
+            break
+        specs = [{"decisions": d, "budget": config.budget} for d in batch]
+        records = execute_batch(specs)
+        for decisions, record in zip(batch, records):
+            if process(record, decisions):
+                if config.stop_on_violation:
+                    return
+                continue
+            stack.extend(reversed(expansions(record, decisions)))
+
+
+def _shrink(outcome: ExploreOutcome, config: ExploreConfig, doc: dict) -> None:
+    """Minimize the first finding's decision list (ddmin-flavoured).
+
+    Binary-search the shortest failing prefix, then zero out individual
+    non-FIFO decisions left to right; each probe is one extra run, capped
+    by ``shrink_budget``.
+    """
+    decisions = list(outcome.findings[0].decisions)
+    used = 0
+
+    def fails(d: list) -> bool:
+        nonlocal used
+        used += 1
+        record = _execute(doc, {"decisions": d, "budget": config.budget})
+        return bool(record["violations"])
+
+    lo, hi = 0, len(decisions)
+    while lo < hi and used < config.shrink_budget:
+        mid = (lo + hi) // 2
+        if fails(decisions[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    best = decisions[:hi]
+    i = 0
+    while i < len(best) and used < config.shrink_budget:
+        if best[i] != 0:
+            candidate = _strip_zeros(best[:i] + [0] + best[i + 1:])
+            if fails(candidate):
+                best = candidate
+                continue
+        i += 1
+    outcome.shrunk = _strip_zeros(best)
+    outcome.shrink_runs = used
+
+
+def replay_schedule(path) -> tuple:
+    """Replay a ``schedule.json`` file; returns ``(scenario, record)``.
+
+    The record is exactly what :func:`~repro.explore.scenarios.
+    run_scenario` produced — ``record["violations"]`` is empty iff the
+    replayed schedule satisfies every invariant.
+    """
+    scenario, decisions, budget = load_schedule(path)
+    policy = ReplayPolicy(decisions, budget)
+    return scenario, json.loads(canonical_json(run_scenario(scenario, policy)))

@@ -1,0 +1,75 @@
+"""Replayable schedule files (``schedule.json``).
+
+A schedule file is the complete recipe for reproducing one explored
+interleaving: the scenario document (canonical-codec form), the choice
+budget, and the positional decision list, plus the violations the run
+produced and a content key over the replay-relevant fields.  The key uses
+the repo-wide canonical JSON codec — the same serializer as the sweep
+cache — so a byte-level edit of the replay recipe is detected on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro._version import __version__
+from repro.codec import stable_hash, to_plain
+from repro.errors import ExploreError
+from repro.explore.scenarios import Scenario
+
+__all__ = ["encode_schedule", "write_schedule", "load_schedule"]
+
+
+def _key_of(doc: dict) -> str:
+    """Content key over the fields that determine the replayed run."""
+    return stable_hash({
+        "scenario": doc["scenario"],
+        "budget": doc["budget"],
+        "decisions": doc["decisions"],
+    })
+
+
+def encode_schedule(scenario: Scenario, decisions, budget: int,
+                    violations=()) -> dict:
+    """Build the JSON-plain schedule document."""
+    doc = {
+        "version": __version__,
+        "scenario": scenario.to_dict(),
+        "budget": int(budget),
+        "decisions": [int(d) for d in decisions],
+        "violations": to_plain(list(violations)),
+    }
+    doc["key"] = _key_of(doc)
+    return doc
+
+
+def write_schedule(path, scenario: Scenario, decisions, budget: int,
+                   violations=()) -> dict:
+    """Write a schedule file and return its document."""
+    doc = encode_schedule(scenario, decisions, budget, violations)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def load_schedule(path) -> tuple:
+    """Load and verify a schedule file.
+
+    Returns ``(scenario, decisions, budget)``.  Raises
+    :class:`~repro.errors.ExploreError` on unreadable JSON, missing
+    fields, or a content-key mismatch (a hand-edited or truncated file).
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ExploreError(f"cannot read schedule file {path}: {exc}") from exc
+    for key in ("scenario", "decisions", "budget", "key"):
+        if key not in doc:
+            raise ExploreError(f"schedule file {path} is missing {key!r}")
+    if doc["key"] != _key_of(doc):
+        raise ExploreError(
+            f"schedule file {path} failed its content check — "
+            "the replay recipe was modified or truncated"
+        )
+    scenario = Scenario.from_dict(doc["scenario"])
+    return scenario, [int(d) for d in doc["decisions"]], int(doc["budget"])

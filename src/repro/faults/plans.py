@@ -23,6 +23,10 @@ FAULT_PLANS: dict[str, FaultConfig] = {
     "flaky-links": FaultConfig(flap_rate=1500.0, flap_duration=60e-6),
     "straggler": FaultConfig(straggler_nodes=(1,), straggler_factor=3.0),
     "pool-pressure": FaultConfig(pool_spike_rate=1500.0),
+    # Duplicates only, at a rate high enough that a short schedule-explorer
+    # scenario sees several — exercises the AM dedup path the explorer's
+    # mutation smoke test disables (tools/check_explorer_finds_bugs.py).
+    "explore-dup": FaultConfig(dup_rate=0.25),
     # Everything at once, at rates a resilient run should shrug off.
     "chaos": FaultConfig(
         drop_rate=0.01,

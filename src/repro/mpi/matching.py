@@ -52,6 +52,12 @@ class MatchEngine:
         #: High-watermarks, sampled by the observability layer at run end.
         self.max_posted = 0
         self.max_unexpected = 0
+        #: Optional soundness audit: ``audit(op, recv, env)`` is invoked on
+        #: every ``post``/``arrive`` with the match partner (``None`` when
+        #: the request/envelope was queued instead).  Installed by the
+        #: schedule explorer's matching-soundness invariant; ``None`` (the
+        #: default) costs one attribute test per operation.
+        self.audit = None
 
     def post_recv(self, recv: RecvRequest) -> Optional[Envelope]:
         """Post a receive; returns the matching unexpected envelope if one
@@ -60,10 +66,14 @@ class MatchEngine:
             self.walked += 1
             if _compatible(recv, env.src, env.tag):
                 del self.unexpected[i]
+                if self.audit is not None:
+                    self.audit("post", recv, env)
                 return env
         self.posted.append(recv)
         if len(self.posted) > self.max_posted:
             self.max_posted = len(self.posted)
+        if self.audit is not None:
+            self.audit("post", recv, None)
         return None
 
     def arrive(self, env: Envelope) -> Optional[RecvRequest]:
@@ -73,16 +83,22 @@ class MatchEngine:
             self.walked += 1
             if _compatible(recv, env.src, env.tag):
                 del self.posted[i]
+                if self.audit is not None:
+                    self.audit("arrive", recv, env)
                 return recv
         self.unexpected.append(env)
         if len(self.unexpected) > self.max_unexpected:
             self.max_unexpected = len(self.unexpected)
+        if self.audit is not None:
+            self.audit("arrive", None, env)
         return None
 
     def cancel(self, recv: RecvRequest) -> bool:
         """Remove a posted receive (MPI_Cancel); True when it was queued."""
         try:
             self.posted.remove(recv)
+            if self.audit is not None:
+                self.audit("cancel", recv, None)
             return True
         except ValueError:
             return False

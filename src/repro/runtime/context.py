@@ -34,7 +34,7 @@ from repro.runtime.mpi_backend import MpiBackend
 from repro.runtime.node import NodeRuntime
 from repro.runtime.taskpool import TaskGraph
 from repro.sim.clock import ClockEnsemble
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, SchedulePolicy, Simulator
 from repro.sim.rng import RngStreams
 
 __all__ = ["ParsecContext", "RunStats"]
@@ -122,6 +122,7 @@ class ParsecContext:
         mpi_put_mode: str = "twosided",
         observability: Optional[bool] = None,
         faults: Optional[FaultConfig] = None,
+        schedule_policy: Optional[SchedulePolicy] = None,
     ):
         if backend not in ("mpi", "lci"):
             raise RuntimeBackendError(f"unknown backend {backend!r}")
@@ -147,7 +148,10 @@ class ParsecContext:
         self.platform = platform or scaled_platform()
         self.backend = backend
         self.multithreaded_activate = multithreaded_activate
-        self.sim = Simulator(obs=self.obs)
+        #: ``schedule_policy`` plugs alternative same-timestamp tie-breaking
+        #: into the kernel (see :class:`~repro.sim.core.SchedulePolicy`);
+        #: ``None`` keeps the default bit-identical FIFO fast path.
+        self.sim = Simulator(obs=self.obs, policy=schedule_policy)
         self.obs.bind_clock(self.sim)
         self.rng = RngStreams(seed)
         n = self.platform.num_nodes

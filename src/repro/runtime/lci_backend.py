@@ -85,6 +85,29 @@ class LciBackend(CommEngine):
         "about 12 KiB in the current implementation")."""
         return self.device.costs.buffered_max
 
+    def quiescence_report(self) -> dict:
+        """Leftover device/engine state after a drained run (diagnostic).
+
+        Reports the device resource pools against their configured sizes
+        (a mismatch means a leaked or double-freed packet/slot — pools must
+        return to full and never go negative), plus the depths of the
+        progress-to-comm FIFOs and the unexpected-RTS queue, all of which a
+        clean termination leaves empty.  Read by the schedule explorer's
+        quiescence invariant.
+        """
+        dev = self.device
+        return {
+            "tx_packets_free": dev.tx_packets_free,
+            "rx_packets_free": dev.rx_packets_free,
+            "send_slots_free": dev.send_slots_free,
+            "recv_slots_free": dev.recv_slots_free,
+            "packet_pool_size": dev.costs.packet_pool_size,
+            "direct_slots": dev.costs.direct_slots,
+            "am_fifo": len(self.am_fifo),
+            "data_fifo": len(self.data_fifo),
+            "unexpected_rts": len(dev._unexpected_rts),
+        }
+
     def _tag_reg_backend(self, tag: int, max_len: int) -> None:
         # Registration "simply inserts the relevant entry into the table"
         # (§5.3.2) — the table is CommEngine._am_tags.

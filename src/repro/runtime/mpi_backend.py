@@ -117,6 +117,22 @@ class MpiBackend(CommEngine):
         """Largest active-message payload (bounded by the eager protocol)."""
         return self.rank.costs.rendezvous_threshold
 
+    def quiescence_report(self) -> dict:
+        """Leftover protocol state after a drained run (diagnostic).
+
+        A clean termination leaves every queue here empty: no deferred
+        transfers awaiting array slots, no announced-but-unserved RMA
+        windows, no in-flight send/recv requests, and no unexpected
+        envelopes in the match engine.  The schedule explorer's quiescence
+        invariant flags any non-zero entry.
+        """
+        return {
+            "deferred": len(self._deferred),
+            "rma_pending": len(self._rma_pending),
+            "transfers": len(self._transfers),
+            "match_unexpected": self.rank.match.unexpected_count,
+        }
+
     def _tag_reg_backend(self, tag: int, max_len: int) -> None:
         if self._started:
             raise RuntimeBackendError("tag_reg after engine start")

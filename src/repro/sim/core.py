@@ -41,6 +41,7 @@ from repro.obs.bus import NULL_BUS
 
 __all__ = [
     "Simulator",
+    "SchedulePolicy",
     "Event",
     "Timeout",
     "Process",
@@ -50,6 +51,32 @@ __all__ = [
 ]
 
 _PENDING = object()
+
+
+class SchedulePolicy:
+    """Pluggable same-timestamp tie-breaking for :meth:`Simulator.run`.
+
+    The kernel's default order is FIFO by ``seq``: among all entries
+    runnable at the current simulated time, the one scheduled first fires
+    first.  A simulator constructed with a policy instead collects the
+    complete runnable set at each step and asks :meth:`choose` which entry
+    fires next — any answer is a *legal* execution (every candidate is due
+    now), so a policy explores alternative interleavings without ever
+    reordering across simulated time.
+
+    The base class chooses index 0 every time, which replays the default
+    FIFO order exactly; subclasses (see :mod:`repro.explore.policy`)
+    record, replay, or perturb the tie-breaks.
+    """
+
+    def choose(self, sim: "Simulator", ready) -> int:
+        """Return the index (into ``ready``) of the entry to fire next.
+
+        ``ready`` is the runnable set at the current time, in FIFO order,
+        as ``(seq, event, fn, args)`` tuples; treat it as read-only.
+        Called only when there are at least two candidates.
+        """
+        return 0
 
 
 class Event:
@@ -288,11 +315,18 @@ class Simulator:
     kernel's hot path.
     """
 
-    __slots__ = ("now", "obs", "_heap", "_ready", "_seq", "_running", "_event_count")
+    __slots__ = (
+        "now", "obs", "policy", "_heap", "_ready", "_seq", "_running",
+        "_event_count",
+    )
 
-    def __init__(self, obs=None) -> None:
+    def __init__(self, obs=None, policy: Optional[SchedulePolicy] = None) -> None:
         self.now: float = 0.0
         self.obs = obs if obs is not None else NULL_BUS
+        #: Optional same-timestamp tie-break policy.  ``None`` (the default)
+        #: keeps the original merged heap/ready fast path byte-for-byte; a
+        #: policy routes :meth:`run` through :meth:`_run_policy` instead.
+        self.policy = policy
         self._heap: list = []
         #: FIFO of current-time entries ``(seq, event, fn, args)``.  Every
         #: entry here carries a timestamp equal to ``now``; the run loop
@@ -370,6 +404,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
+        if self.policy is not None:
+            return self._run_policy(until)
         self._running = True
         heap = self._heap
         ready = self._ready
@@ -410,6 +446,67 @@ class Simulator:
                 heappop(heap)
                 self.now = when
                 count += 1
+                if event is not None:
+                    event._dispatch()
+                else:
+                    fn(*args)
+        finally:
+            self._event_count = count
+            self._running = False
+        if self.obs.enabled:
+            self.obs.emit(
+                "sim_run", -1,
+                info={"events_processed": self._event_count, "now": self.now},
+                time=self.now,
+            )
+        return self.now
+
+    def _run_policy(self, until: Optional[float]) -> float:
+        """Policy-driven run loop (see :class:`SchedulePolicy`).
+
+        Instead of merging the heap against the ready deque one entry at a
+        time, each time step first drains every heap entry stamped at (or
+        before) the current time into the ready deque.  Such entries were
+        all pushed before simulated time reached ``now`` — zero-delay
+        scheduling always lands on the ready deque directly — so their
+        ``seq`` values precede every ready entry's and the drained deque
+        is the complete runnable set in exact FIFO order.  The policy then
+        picks which candidate fires; index 0 replays the default kernel
+        bit-identically.
+        """
+        self._running = True
+        policy = self.policy
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        count = self._event_count
+        try:
+            while True:
+                while heap and heap[0][0] <= self.now:
+                    _w, seq, event, fn, args = heappop(heap)
+                    ready.append((seq, event, fn, args))
+                if not ready:
+                    if not heap:
+                        if until is not None:
+                            self.now = until
+                        break
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        break
+                    self.now = when
+                    continue
+                if len(ready) > 1:
+                    idx = policy.choose(self, ready)
+                    if idx:
+                        entry = ready[idx]
+                        del ready[idx]
+                    else:
+                        entry = ready.popleft()
+                else:
+                    entry = ready.popleft()
+                count += 1
+                _seq, event, fn, args = entry
                 if event is not None:
                     event._dispatch()
                 else:

@@ -43,6 +43,15 @@ class Store:
         """Snapshot of queued items (diagnostic)."""
         return tuple(self._items)
 
+    @property
+    def waiters(self) -> tuple:
+        """``(blocked getters, blocked putters)`` — deadlock diagnostics.
+
+        The schedule explorer's quiescence checker reads this after a run:
+        a drained simulation should leave no process parked on a store.
+        """
+        return (len(self._getters), len(self._putters))
+
     def put(self, item: Any) -> Event:
         """Offer an item; the returned event fires when it is accepted."""
         evt = Event(self.sim)

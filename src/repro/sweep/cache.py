@@ -23,7 +23,6 @@ first read and treated as misses; writes go through a temp file +
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -31,6 +30,7 @@ from pathlib import Path
 from typing import Any, Optional
 
 from repro._version import __version__
+from repro.codec import stable_hash as _stable_hash
 
 __all__ = ["stable_hash", "CacheStats", "ResultCache", "default_cache_dir"]
 
@@ -41,11 +41,10 @@ def stable_hash(payload: Any) -> str:
     Canonical = sorted keys, no whitespace, ``repr``-shortest floats (the
     Python default), no NaN/Infinity (they are not valid cache-key
     material and raise).  Stable across processes, platforms, and runs.
+    Delegates to :func:`repro.codec.stable_hash` — the repo-wide codec —
+    and is kept here as the historical import location.
     """
-    text = json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
-    )
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return _stable_hash(payload)
 
 
 def default_cache_dir() -> Path:

@@ -14,7 +14,6 @@ in-process.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -117,7 +116,7 @@ def point_key(point: SweepPoint) -> str:
         "kind": point.kind,
         "backend": point.backend,
         "params": dict(point.params),
-        "platform": dataclasses.asdict(platform),
+        "platform": platform.to_dict(),
         "version": __version__,
     }
     return stable_hash(payload)

@@ -1,0 +1,112 @@
+"""Round-trip tests for the canonical config codec (repro.codec)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.hicma_bench import HicmaConfig
+from repro.bench.overlap import OverlapConfig
+from repro.bench.pingpong import PingPongConfig
+from repro.codec import canonical_json, stable_hash, to_plain
+from repro.config import (
+    ComputeConfig,
+    FaultConfig,
+    LciCosts,
+    MpiCosts,
+    NetworkConfig,
+    PlatformConfig,
+    RuntimeCosts,
+    SweepConfig,
+)
+from repro.errors import ConfigError
+
+EXEMPLARS = [
+    NetworkConfig(),
+    MpiCosts(),
+    LciCosts(),
+    RuntimeCosts(),
+    ComputeConfig(),
+    FaultConfig(),
+    SweepConfig(),
+    PlatformConfig(),
+    PingPongConfig(fragment_size=256 * 1024),
+    OverlapConfig(fragment_size=1024 * 1024),
+    HicmaConfig(matrix_size=7200, tile_size=1200),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "instance", EXEMPLARS, ids=lambda i: type(i).__name__
+    )
+    def test_exemplar_roundtrips(self, instance):
+        doc = instance.to_dict()
+        assert isinstance(doc, dict)
+        assert type(instance).from_dict(doc) == instance
+
+    @pytest.mark.parametrize(
+        "instance", EXEMPLARS, ids=lambda i: type(i).__name__
+    )
+    def test_canonical_text_survives_json(self, instance):
+        """to_dict output is exactly what a JSON round-trip reproduces."""
+        import json
+
+        doc = instance.to_dict()
+        assert json.loads(canonical_json(doc)) == doc
+
+    def test_nested_platform_revives_sections(self):
+        platform = PlatformConfig()
+        revived = PlatformConfig.from_dict(platform.to_dict())
+        assert isinstance(revived.network, NetworkConfig)
+        assert isinstance(revived.mpi, MpiCosts)
+        assert isinstance(revived.lci, LciCosts)
+        assert revived == platform
+
+    def test_modified_value_roundtrips(self):
+        cfg = dataclasses.replace(PingPongConfig(fragment_size=256 * 1024),
+                                  fragment_size=64 * 1024, iterations=9)
+        assert PingPongConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_partial_dict_fills_defaults(self):
+        cfg = PingPongConfig.from_dict({"fragment_size": 4096})
+        assert cfg.fragment_size == 4096
+        assert cfg.iterations == PingPongConfig(fragment_size=4096).iterations
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ConfigError, match="missing required key"):
+            PingPongConfig.from_dict({"iterations": 3})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            NetworkConfig.from_dict({"bandwidht": 1.0})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigError, match="expects a dict"):
+            NetworkConfig.from_dict([1, 2, 3])
+
+    def test_bad_value_wrapped_as_config_error(self):
+        with pytest.raises(ConfigError):
+            FaultConfig.from_dict({"drop_rate": 0.1, "enabled": 1, "seed": {},
+                                   "unknown-extra": 1})
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+        assert stable_hash({"b": 1, "a": 2}) == stable_hash({"a": 2, "b": 1})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_to_plain_lowers_tuples_and_dataclasses(self):
+        plain = to_plain({"t": (1, 2), "cfg": FaultConfig()})
+        assert plain["t"] == [1, 2]
+        assert isinstance(plain["cfg"], dict)
+
+    def test_sweep_hash_delegates_to_codec(self):
+        """The historical import location stays valid and agrees."""
+        from repro.sweep.cache import stable_hash as sweep_hash
+
+        payload = {"grid": "fig4", "points": [1, 2, 3]}
+        assert sweep_hash(payload) == stable_hash(payload)

@@ -39,6 +39,13 @@ class TestApiDocsGenerator:
             "repro.sweep.spec",
             "repro.sweep.cache",
             "repro.sweep.engine",
+            "repro.api",
+            "repro.codec",
+            "repro.explore.explorer",
+            "repro.explore.invariants",
+            "repro.explore.policy",
+            "repro.explore.scenarios",
+            "repro.explore.schedule",
         ):
             assert f"### `{mod}`" in text, f"missing {mod}"
 
@@ -47,16 +54,17 @@ class TestApiDocsGenerator:
 
     def test_checked_in_copy_covers_new_packages(self):
         text = (ROOT / "docs" / "api.md").read_text()
-        for mod in ("repro.faults", "repro.sweep"):
+        for mod in ("repro.faults", "repro.sweep", "repro.explore", "repro.api"):
             assert f"### `{mod}`" in text, f"docs/api.md stale: missing {mod}"
 
-    def test_strict_docstrings_enforced(self, tmp_path):
+    @pytest.mark.parametrize("package", ["sweep", "explore"])
+    def test_strict_docstrings_enforced(self, tmp_path, package):
         """An undocumented public symbol in a strict package must fail."""
         import shutil
 
         src = tmp_path / "src" / "repro"
         shutil.copytree(ROOT / "src" / "repro", src)
-        (src / "sweep" / "bare.py").write_text("def naked(x):\n    return x\n")
+        (src / package / "bare.py").write_text("def naked(x):\n    return x\n")
         (tmp_path / "tools").mkdir()
         tool = tmp_path / "tools" / "gen_api_docs.py"
         shutil.copy(ROOT / "tools" / "gen_api_docs.py", tool)
@@ -66,7 +74,7 @@ class TestApiDocsGenerator:
             text=True,
         )
         assert proc.returncode == 1
-        assert "repro.sweep.bare.naked" in proc.stderr
+        assert f"repro.{package}.bare.naked" in proc.stderr
 
 
 class TestRepoCheckers:
@@ -100,6 +108,18 @@ class TestRepoCheckers:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "bit-identical" in proc.stdout
+
+    def test_explorer_finds_planted_bugs(self):
+        # The mutation smoke test: the explorer must catch both known-bad
+        # protocol variants and replay each from its shrunk schedule.
+        proc = subprocess.run(
+            [sys.executable,
+             str(ROOT / "tools" / "check_explorer_finds_bugs.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "caught both" in proc.stdout
 
 
 class TestNicEjectControl:

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Check: the schedule-space explorer actually catches protocol bugs.
+
+A race detector that never fires is indistinguishable from one that does
+not work.  This checker first asserts the clean baseline (every explored
+schedule of the default ping-pong scenario satisfies every invariant),
+then plants two known-bad protocol variants and asserts the explorer
+catches each within a bounded schedule budget:
+
+1. **dup-suppression skipped** — :class:`repro.faults.transport.SeqTracker`
+   is patched to accept every sequence number, so under the ``explore-dup``
+   fault plan a duplicated wire message is delivered twice and the LCI
+   rendezvous completes the same RDMA transfer twice (a protocol
+   violation: a progress thread dies on the double completion).
+2. **deferred-GET requeued twice** — :class:`repro.sim.primitives.
+   PriorityStore` is patched to silently requeue each drained entry once,
+   so GET DATA requests are served twice and the run ends with leaked
+   communication slots (a quiescence violation).
+
+Each caught failure is shrunk, written to a ``schedule.json``, and
+replayed through :func:`repro.explore.replay_schedule` with the mutant
+still applied — the replay must reproduce the violation.  The explorer
+runs with ``jobs=1`` throughout: the mutation is an in-process monkeypatch
+and would be invisible to pool workers.
+
+Run as::
+
+    python tools/check_explorer_finds_bugs.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.explore import (  # noqa: E402
+    ExploreConfig,
+    default_scenario,
+    replay_schedule,
+    run_explore,
+    write_schedule,
+)
+
+#: Schedule budget within which each mutant must be caught.
+MAX_SCHEDULES = 20
+
+CONFIG = ExploreConfig(max_schedules=MAX_SCHEDULES, budget=24, jobs=1)
+
+
+def mutant_skip_dup_suppression():
+    """Plant bug 1: receiver-side dedup accepts every sequence number.
+
+    Returns an undo callable.
+    """
+    from repro.faults.transport import SeqTracker
+
+    original = SeqTracker.accept
+
+    def accept_everything(self, seq):
+        original(self, seq)  # keep the bookkeeping, ignore its verdict
+        return True
+
+    SeqTracker.accept = accept_everything
+    return lambda: setattr(SeqTracker, "accept", original)
+
+
+def mutant_requeue_deferred_get():
+    """Plant bug 2: every drained priority-store entry is served twice.
+
+    Returns an undo callable.
+    """
+    from repro.sim.primitives import PriorityStore
+
+    original = PriorityStore.try_get
+    replayed: set[int] = set()
+
+    def try_get_twice(self):
+        ok, payload = original(self)
+        if ok and isinstance(payload, tuple) and len(payload) == 2 \
+                and id(payload) not in replayed:
+            replayed.add(id(payload))
+            self.try_put((0.0, payload))
+        return ok, payload
+
+    PriorityStore.try_get = try_get_twice
+    return lambda: (setattr(PriorityStore, "try_get", original),
+                    replayed.clear())
+
+
+def check_baseline() -> bool:
+    """The unmutated scenario must pass every invariant on every schedule."""
+    outcome = run_explore(default_scenario("pingpong"), CONFIG)
+    if not outcome.ok:
+        print("FAIL baseline: clean scenario produced findings:")
+        print(outcome.summary())
+        return False
+    print(f"ok baseline: {outcome.schedules_run} schedules clean "
+          f"({outcome.total_sites} choice points)")
+    return True
+
+
+def check_mutant(name: str, plant, scenario, expect_kinds) -> bool:
+    """Plant one bug; the explorer must catch and replay it."""
+    undo = plant()
+    try:
+        outcome = run_explore(scenario, CONFIG)
+        if outcome.ok:
+            print(f"FAIL {name}: explorer found nothing within "
+                  f"{MAX_SCHEDULES} schedules")
+            return False
+        finding = outcome.findings[0]
+        kinds = {kind for kind, _detail in finding.violations}
+        if not kinds & set(expect_kinds):
+            print(f"FAIL {name}: expected a violation in {expect_kinds}, "
+                  f"got {sorted(kinds)}")
+            return False
+        decisions = (outcome.shrunk if outcome.shrunk is not None
+                     else list(finding.decisions))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "schedule.json"
+            write_schedule(path, scenario, decisions, CONFIG.budget,
+                           violations=finding.violations)
+            _scenario, record = replay_schedule(path)
+        if not record["violations"]:
+            print(f"FAIL {name}: shrunk schedule did not replay the failure")
+            return False
+        print(f"ok {name}: caught at run {finding.schedule_index} "
+              f"({sorted(kinds)}), shrunk to {len(decisions)} decision(s), "
+              f"replay reproduces")
+        return True
+    finally:
+        undo()
+
+
+def main() -> int:
+    ok = check_baseline()
+    ok &= check_mutant(
+        "mutant[dup-suppression skipped]",
+        mutant_skip_dup_suppression,
+        default_scenario("pingpong", fault_plan="explore-dup"),
+        expect_kinds=("protocol", "deadlock"),
+    )
+    ok &= check_mutant(
+        "mutant[deferred GET requeued]",
+        mutant_requeue_deferred_get,
+        default_scenario("pingpong"),
+        expect_kinds=("quiescence",),
+    )
+    print("explorer mutation check:", "caught both" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
