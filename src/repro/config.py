@@ -50,9 +50,30 @@ __all__ = [
 ]
 
 
+#: Accepted spellings of the REPRO_PAPER_SCALE switch (after strip+casefold).
+_PAPER_SCALE_TRUE = frozenset({"1", "true", "yes", "on"})
+_PAPER_SCALE_FALSE = frozenset({"", "0", "false", "no", "off"})
+
+
 def paper_scale_enabled() -> bool:
-    """True when the environment requests full paper-scale experiments."""
-    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false", "no")
+    """True when the environment requests full paper-scale experiments.
+
+    The ``REPRO_PAPER_SCALE`` value is stripped and case-folded, so
+    ``"False"``, ``"NO"`` and ``" 0 "`` all read as disabled; anything
+    outside the recognised truthy/falsy spellings raises
+    :class:`~repro.errors.ConfigError` rather than silently enabling a
+    multi-hour experiment sweep.
+    """
+    raw = os.environ.get("REPRO_PAPER_SCALE", "0")
+    value = raw.strip().casefold()
+    if value in _PAPER_SCALE_TRUE:
+        return True
+    if value in _PAPER_SCALE_FALSE:
+        return False
+    raise ConfigError(
+        f"REPRO_PAPER_SCALE={raw!r} not understood; use one of "
+        f"{sorted(_PAPER_SCALE_TRUE)} or {sorted(_PAPER_SCALE_FALSE - {''})}"
+    )
 
 
 def _require(cond: bool, message: str) -> None:

@@ -5,7 +5,38 @@ import pytest
 
 from repro.bench.hicma_bench import default_matrix_size, default_tile_sizes
 from repro.bench.pingpong import PingPongConfig, default_granularities
+from repro.config import paper_scale_enabled
+from repro.errors import ConfigError
 from repro.units import KiB, MiB
+
+
+class TestPaperScaleFlagParsing:
+    """Env-value matrix for the REPRO_PAPER_SCALE switch."""
+
+    @pytest.mark.parametrize(
+        "value", ["1", "true", "TRUE", "True", "yes", "YES", "on", " 1 ", "\ttrue\n"]
+    )
+    def test_truthy_spellings_enable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", value)
+        assert paper_scale_enabled() is True
+
+    @pytest.mark.parametrize(
+        "value",
+        ["", "0", "false", "False", "FALSE", "no", "NO", "off", "OFF", " 0 ", " no\n"],
+    )
+    def test_falsy_spellings_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", value)
+        assert paper_scale_enabled() is False
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert paper_scale_enabled() is False
+
+    @pytest.mark.parametrize("value", ["2", "enable", "paper", "y", "t", "-1"])
+    def test_unrecognized_values_raise(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", value)
+        with pytest.raises(ConfigError, match="REPRO_PAPER_SCALE"):
+            paper_scale_enabled()
 
 
 class TestDefaultScale:
