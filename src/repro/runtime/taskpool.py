@@ -24,7 +24,7 @@ class FlowSpec:
     """One dataflow: ``size`` bytes produced by ``producer``, consumed by
     the tasks in ``consumers``."""
 
-    __slots__ = ("flow_id", "size", "producer", "consumers")
+    __slots__ = ("flow_id", "size", "producer", "_consumers", "_consumers_cache")
 
     def __init__(self, flow_id: int, size: int, producer: int, consumers: tuple[int, ...]):
         if size < 0:
@@ -32,7 +32,25 @@ class FlowSpec:
         self.flow_id = flow_id
         self.size = size
         self.producer = producer
-        self.consumers = consumers
+        self._consumers = list(consumers)
+        self._consumers_cache: Optional[tuple] = None
+
+    @property
+    def consumers(self) -> tuple[int, ...]:
+        """Consumer task ids, in registration order."""
+        cache = self._consumers_cache
+        if cache is None:
+            cache = self._consumers_cache = tuple(self._consumers)
+        return cache
+
+    @consumers.setter
+    def consumers(self, value: Iterable[int]) -> None:
+        self._consumers = list(value)
+        self._consumers_cache = None
+
+    def _append_consumer(self, tid: int) -> None:
+        self._consumers.append(tid)
+        self._consumers_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Flow({self.flow_id}, {self.size}B, {self.producer}->{list(self.consumers)})"
@@ -41,7 +59,10 @@ class FlowSpec:
 class TaskSpec:
     """One task: node placement, compute duration, priority, dataflows."""
 
-    __slots__ = ("task_id", "node", "duration", "priority", "inputs", "outputs", "kind")
+    __slots__ = (
+        "task_id", "node", "duration", "priority", "inputs",
+        "_outputs", "_outputs_cache", "kind",
+    )
 
     def __init__(
         self,
@@ -60,8 +81,26 @@ class TaskSpec:
         self.duration = duration
         self.priority = priority
         self.inputs = inputs  # flow ids this task consumes
-        self.outputs = outputs  # flow ids this task produces
+        self._outputs = list(outputs)  # flow ids this task produces
+        self._outputs_cache: Optional[tuple] = None
         self.kind = kind
+
+    @property
+    def outputs(self) -> tuple[int, ...]:
+        """Output flow ids, in creation order."""
+        cache = self._outputs_cache
+        if cache is None:
+            cache = self._outputs_cache = tuple(self._outputs)
+        return cache
+
+    @outputs.setter
+    def outputs(self, value: Iterable[int]) -> None:
+        self._outputs = list(value)
+        self._outputs_cache = None
+
+    def _append_output(self, fid: int) -> None:
+        self._outputs.append(fid)
+        self._outputs_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Task({self.task_id} {self.kind}@{self.node})"
@@ -100,7 +139,7 @@ class TaskGraph:
             flow = self.flows.get(fid)
             if flow is None:
                 raise RuntimeBackendError(f"task {tid}: unknown input flow {fid}")
-            flow.consumers = flow.consumers + (tid,)
+            flow._append_consumer(tid)
         return tid
 
     def add_flow(self, producer: int, size: int) -> int:
@@ -111,7 +150,7 @@ class TaskGraph:
         fid = self._next_flow
         self._next_flow += 1
         self.flows[fid] = FlowSpec(fid, size, producer, ())
-        task.outputs = task.outputs + (fid,)
+        task._append_output(fid)
         return fid
 
     # -- queries ---------------------------------------------------------
