@@ -134,6 +134,9 @@ def run_hicma_benchmark(
         maxrank=cfg.maxrank,
         two_flow=cfg.two_flow,
     )
+    # Fail eagerly on misplacement: a task on a node outside the platform
+    # would otherwise only surface deep inside ctx.run().
+    graph.validate(num_nodes=cfg.num_nodes)
     ctx = ParsecContext(
         platform,
         backend=backend,

@@ -118,6 +118,10 @@ class TaskGraph:
         self.flows: dict[int, FlowSpec] = {}
         self._next_task = 0
         self._next_flow = 0
+        #: Memo of the last successful validate() arguments, cleared on
+        #: add_task/add_flow — lets callers validate eagerly without the
+        #: runtime re-paying the Kahn pass on large graphs.
+        self._validated: Optional[tuple] = None
 
     # -- construction ----------------------------------------------------
 
@@ -133,6 +137,7 @@ class TaskGraph:
         consumer lists of those flows are updated automatically."""
         tid = self._next_task
         self._next_task += 1
+        self._validated = None
         inputs = tuple(inputs)
         self.tasks[tid] = TaskSpec(tid, node, duration, priority, inputs, (), kind)
         for fid in inputs:
@@ -149,6 +154,7 @@ class TaskGraph:
             raise RuntimeBackendError(f"flow producer task {producer} unknown")
         fid = self._next_flow
         self._next_flow += 1
+        self._validated = None
         self.flows[fid] = FlowSpec(fid, size, producer, ())
         task._append_output(fid)
         return fid
@@ -190,7 +196,15 @@ class TaskGraph:
     # -- validation ------------------------------------------------------
 
     def validate(self, num_nodes: Optional[int] = None) -> None:
-        """Check structural invariants; raises RuntimeBackendError."""
+        """Check structural invariants; raises RuntimeBackendError.
+
+        A repeat call with the same ``num_nodes`` on an unmodified graph
+        is a no-op (structural edits through :meth:`add_task` /
+        :meth:`add_flow` clear the memo; direct attribute surgery on
+        specs does not, so re-validate explicitly after doing that).
+        """
+        if self._validated == (num_nodes,):
+            return
         if not self.tasks:
             raise RuntimeBackendError("empty task graph")
         for task in self.tasks.values():
@@ -207,6 +221,7 @@ class TaskGraph:
         if not self.source_tasks():
             raise RuntimeBackendError("task graph has no source tasks (cycle?)")
         self._check_acyclic()
+        self._validated = (num_nodes,)
 
     def _check_acyclic(self) -> None:
         """Kahn's algorithm over the task-dependency relation."""
@@ -222,6 +237,19 @@ class TaskGraph:
                     if indeg[consumer] == 0:
                         ready.append(consumer)
         if seen != len(self.tasks):
-            raise RuntimeBackendError(
-                f"task graph has a cycle ({len(self.tasks) - seen} tasks unreachable)"
-            )
+            raise RuntimeBackendError(self._cycle_detail(indeg))
+
+    def _cycle_detail(self, indeg: dict) -> str:
+        """Name the tasks the Kahn pass could not drain (cycle members or
+        their downstream closure), so the offending wiring is findable."""
+        remaining = [tid for tid, d in indeg.items() if d > 0]
+        sample = ", ".join(
+            f"task {tid} ({self.tasks[tid].kind}@n{self.tasks[tid].node}, "
+            f"{d} unmet input{'s' if d != 1 else ''})"
+            for tid, d in ((tid, indeg[tid]) for tid in remaining[:8])
+        )
+        more = f", and {len(remaining) - 8} more" if len(remaining) > 8 else ""
+        return (
+            f"task graph has a cycle ({len(remaining)} tasks unreachable): "
+            f"{sample}{more}"
+        )

@@ -97,6 +97,33 @@ class TestValidation:
         with pytest.raises(RuntimeBackendError, match="no source|cycle"):
             g.validate()
 
+    def test_cycle_diagnostics_name_remaining_tasks(self):
+        g = TaskGraph()
+        src = g.add_task(node=0, duration=0)
+        fs = g.add_flow(src, 1)
+        a = g.add_task(node=0, duration=0, inputs=[fs], kind="potrf")
+        fa = g.add_flow(a, 1)
+        b = g.add_task(node=1, duration=0, inputs=[fa], kind="trsm")
+        fb = g.add_flow(b, 1)
+        # Back-edge b -> a: a and b form a cycle, src stays a source.
+        g.tasks[a].inputs = (fs, fb)
+        g.flows[fb].consumers = (a,)
+        with pytest.raises(RuntimeBackendError) as exc:
+            g.validate()
+        msg = str(exc.value)
+        assert "2 tasks unreachable" in msg
+        assert f"task {a} (potrf@n0" in msg
+        assert f"task {b} (trsm@n1" in msg
+
+    def test_validate_memo_cleared_by_structural_edits(self):
+        g = TaskGraph()
+        a = g.add_task(node=0, duration=0)
+        g.validate(num_nodes=1)
+        g.validate(num_nodes=1)  # memo hit: no-op
+        g.add_task(node=5, duration=0)
+        with pytest.raises(RuntimeBackendError, match="outside"):
+            g.validate(num_nodes=1)
+
 
 class TestBinomialTree:
     def test_single_node(self):
