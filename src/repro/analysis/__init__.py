@@ -3,7 +3,12 @@
 from repro.analysis.stats import MethodologyConfig, methodology_mean, summarize
 from repro.analysis.ascii_plot import ascii_chart, ascii_table
 from repro.analysis.latency import FlowBreakdown, breakdown, phase_summary
-from repro.analysis.export import dump_results, load_results, to_jsonable
+from repro.analysis.export import (
+    dump_results,
+    load_results,
+    progress_series,
+    to_jsonable,
+)
 from repro.analysis.gantt import Interval, occupancy, render_gantt, worker_intervals
 from repro.analysis.sweep_tables import (
     fig4_table,
@@ -24,6 +29,7 @@ __all__ = [
     "phase_summary",
     "dump_results",
     "load_results",
+    "progress_series",
     "to_jsonable",
     "Interval",
     "occupancy",

@@ -16,7 +16,25 @@ from typing import Any, IO, Optional, Union
 
 from repro._version import __version__
 
-__all__ = ["to_jsonable", "dump_results", "load_results"]
+__all__ = ["to_jsonable", "dump_results", "load_results", "progress_series"]
+
+
+def progress_series(source: Any) -> list[dict]:
+    """The run's ``run_progress`` heartbeats as JSON-ready dicts.
+
+    ``source`` is an :class:`~repro.obs.bus.ObsBus` or its memory sink
+    (anything :func:`~repro.obs.sinks.memory_of` accepts).  Each entry is
+    one heartbeat's info payload (tasks done/total, wall elapsed,
+    events/s, RSS, ETA) plus its beat ordinal — the wall-clock timeline of
+    a long run, ready for :func:`dump_results` or plotting wall-time /
+    memory curves against simulated progress.
+    """
+    from repro.obs.sinks import memory_of
+
+    return [
+        {"beat": evt.key, **to_jsonable(evt.info)}
+        for evt in memory_of(source).by_kind("run_progress")
+    ]
 
 
 def to_jsonable(obj: Any) -> Any:

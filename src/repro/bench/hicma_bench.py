@@ -13,6 +13,7 @@ paper dimensions.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -110,11 +111,15 @@ def run_hicma_benchmark(
     faults=None,
     schedule_policy=None,
     ctx_observer=None,
+    progress=None,
 ) -> HicmaResult:
     """Execute one TLR Cholesky on the simulated runtime.
 
     ``faults``/``schedule_policy``/``ctx_observer`` follow the same
-    contract as :func:`repro.bench.pingpong.run_pingpong_benchmark`.
+    contract as :func:`repro.bench.pingpong.run_pingpong_benchmark`;
+    ``progress`` (``True`` or a :class:`~repro.obs.progress.
+    ProgressReporter`) turns on run-progress heartbeats — essential at
+    ``REPRO_PAPER_SCALE=1``, where a single point is ~575k tasks.
     """
     if platform is None:
         if paper_scale_enabled():
@@ -125,6 +130,7 @@ def run_hicma_benchmark(
             platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=8)
     ranks = RankModel(cfg.nt, cfg.tile_size, cfg.maxrank)
     times = KernelTimeModel(platform.compute)
+    t_build = time.perf_counter()
     graph = build_tlr_cholesky_graph(
         cfg.nt,
         cfg.tile_size,
@@ -137,6 +143,14 @@ def run_hicma_benchmark(
     # Fail eagerly on misplacement: a task on a node outside the platform
     # would otherwise only surface deep inside ctx.run().
     graph.validate(num_nodes=cfg.num_nodes)
+    stream = getattr(progress, "stream", None)
+    if stream is not None:
+        print(
+            f"[progress] graph built: {graph.num_tasks:,} tasks, "
+            f"{graph.num_flows:,} flows in {time.perf_counter() - t_build:.1f}s",
+            file=stream,
+            flush=True,
+        )
     ctx = ParsecContext(
         platform,
         backend=backend,
@@ -148,7 +162,7 @@ def run_hicma_benchmark(
     )
     if ctx_observer is not None:
         ctx_observer(ctx)
-    stats = ctx.run(graph, until=36_000.0)
+    stats = ctx.run(graph, until=36_000.0, progress=progress)
     return HicmaResult(
         config=cfg,
         backend=backend,

@@ -104,14 +104,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     hc = sub.add_parser("hicma", help="TLR Cholesky (Fig. 4/5)",
                         parents=[_common_flags(backend="lci", seed=0, nodes=4)])
-    hc.add_argument("--matrix", type=int, default=36_000)
-    hc.add_argument("--tile", type=int, default=1200)
+    hc.add_argument("--matrix", type=int, default=None,
+                    help="matrix dimension N (default 36,000, or 360,000 "
+                    "under REPRO_PAPER_SCALE=1)")
+    hc.add_argument("--tile", type=int, default=None,
+                    help="tile size b (default 1200, or 2400 under "
+                    "REPRO_PAPER_SCALE=1)")
     hc.add_argument("--mt-activate", action="store_true",
                     help="workers send ACTIVATEs directly (§6.4.3)")
     hc.add_argument("--native-put", action="store_true",
                     help="LCI one-sided put (§7 future work)")
     hc.add_argument("--json", metavar="PATH", default=None,
                     help="also dump the result as JSON")
+    hc.add_argument("--progress", action="store_true",
+                    help="print run-progress heartbeats to stderr (tasks "
+                    "done, events/s, RSS, ETA) — recommended with "
+                    "REPRO_PAPER_SCALE=1")
 
     np_ = sub.add_parser("netpipe", help="raw fabric ping-pong baseline")
     np_.add_argument("sizes", nargs="*", type=_size,
@@ -147,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pingpong grid: bytes per iteration")
     sw.add_argument("--streams", type=int, default=1,
                     help="pingpong grid: concurrent streams")
+    sw.add_argument("--progress", action="store_true",
+                    help="print one line per sweep point to stderr as "
+                    "points execute")
 
     va = sub.add_parser("validate", help="simulator self-checks vs closed forms")
     va.add_argument("--size", type=_size, default=_size("1M"))
@@ -181,6 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="replay a schedule.json instead of exploring")
     ex.add_argument("--out", metavar="PATH", default="schedule.json",
                     help="where to write the failing schedule, if any")
+    ex.add_argument("--progress", action="store_true",
+                    help="print one line per explored schedule to stderr")
 
     te = sub.add_parser(
         "trace-export",
@@ -207,6 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="print calibrated platform constants")
     return parser
+
+
+def _progress_bus(args, kinds):
+    """A bus printing the given progress kinds to stderr, or the null bus.
+
+    Backs the ``--progress`` flag of the sweep/explore verbs: both engines
+    emit wall-clock progress events unconditionally; the flag merely
+    attaches a :class:`~repro.obs.sinks.StreamSink` so they become visible.
+    """
+    from repro.obs import NULL_BUS, ObsBus, StreamSink
+
+    if not getattr(args, "progress", False):
+        return NULL_BUS
+    bus = ObsBus(memory=False)
+    bus.attach(StreamSink(stream=sys.stderr, kinds=kinds))
+    return bus
 
 
 def cmd_pingpong(args) -> int:
@@ -251,20 +280,35 @@ def cmd_overlap(args) -> int:
 
 def cmd_hicma(args) -> int:
     """Run one simulated TLR Cholesky configuration."""
-    from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
-    from repro.config import scaled_platform
+    from repro.bench.hicma_bench import (
+        HicmaConfig,
+        default_matrix_size,
+        run_hicma_benchmark,
+    )
+    from repro.config import paper_scale_enabled, scaled_platform
     from repro.runtime.context import ParsecContext
     from repro.hicma.dag import build_tlr_cholesky_graph
     from repro.hicma.ranks import RankModel
     from repro.hicma.timing import KernelTimeModel
 
+    # Paper scale flips the *defaults*; explicit --matrix/--tile always win.
+    # Tile 2400 is the tractable paper-scale sweet spot (NT=150).
+    matrix = args.matrix if args.matrix is not None else default_matrix_size()
+    tile = args.tile if args.tile is not None else (
+        2400 if paper_scale_enabled() else 1200
+    )
     cfg = HicmaConfig(
-        matrix_size=args.matrix,
-        tile_size=args.tile,
+        matrix_size=matrix,
+        tile_size=tile,
         num_nodes=args.nodes,
         multithreaded_activate=args.mt_activate,
         seed=args.seed,
     )
+    progress = None
+    if args.progress:
+        from repro.obs.progress import ProgressReporter
+
+        progress = ProgressReporter(stream=sys.stderr)
     if args.native_put:
         platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=8)
         graph = build_tlr_cholesky_graph(
@@ -276,12 +320,12 @@ def cmd_hicma(args) -> int:
             platform, backend="lci", native_put=True,
             multithreaded_activate=args.mt_activate, seed=args.seed,
         )
-        stats = ctx.run(graph, until=36_000.0)
+        stats = ctx.run(graph, until=36_000.0, progress=progress)
         print(f"hicma[lci, native put] N={cfg.matrix_size} tile={cfg.tile_size} "
               f"nodes={cfg.num_nodes}: TTS={stats.makespan:.3f}s "
               f"e2e={stats.mean_flow_latency * 1e3:.2f}ms")
         return 0
-    result = run_hicma_benchmark(args.backend, cfg)
+    result = run_hicma_benchmark(args.backend, cfg, progress=progress)
     print(result.summary())
     print(f"  tasks            : {result.tasks}")
     print(f"  wire traffic     : {result.wire_bytes / 1e6:.1f} MB")
@@ -360,7 +404,10 @@ def cmd_explore(args) -> int:
         walk_seed=args.walk_seed,
         jobs=args.jobs,
     )
-    outcome = run_explore(scenario, config)
+    obs = _progress_bus(
+        args, ("explore_start", "explore_schedule", "explore_violation")
+    )
+    outcome = run_explore(scenario, config, obs=obs)
     print(outcome.summary())
     if outcome.ok:
         return 0
@@ -470,7 +517,8 @@ def cmd_sweep(args) -> int:
         cache_enabled=not args.no_cache,
         retries=args.retries,
     )
-    outcome = run_sweep(spec, config, cache=cache)
+    obs = _progress_bus(args, ("sweep_start", "sweep_point", "sweep_end"))
+    outcome = run_sweep(spec, config, cache=cache, obs=obs)
     print(render_outcome(outcome))
     print(outcome.summary())
     return 0 if outcome.failed == 0 else 1

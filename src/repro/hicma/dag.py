@@ -69,6 +69,13 @@ def build_tlr_cholesky_graph(
     g = TaskGraph()
     b = tile_size
     dense_bytes = b * b * 8
+    # Emit straight into the columnar builder: bind the two append methods
+    # once — at paper scale (NT=150) this loop runs ~575k times and the
+    # builder appends are the entire cost of the build.
+    add_task = g.add_task
+    add_flow = g.add_flow
+    rank_of = ranks.rank
+    potrf_d = times.potrf(b)
 
     def owner(i: int, j: int) -> int:
         return block_cyclic_node(i, j, p, q)
@@ -89,9 +96,9 @@ def build_tlr_cholesky_graph(
     for k in range(nt):
         # ---- POTRF(k) ----
         inputs = tile_dep.pop((k, k), [])
-        potrf_t = g.add_task(
+        potrf_t = add_task(
             node=owner(k, k),
-            duration=times.potrf(b),
+            duration=potrf_d,
             priority=prio("potrf", k),
             inputs=inputs,
             kind="potrf",
@@ -99,15 +106,15 @@ def build_tlr_cholesky_graph(
         if k == nt - 1:
             break
         # L_kk flows to every TRSM in column k (broadcast).
-        lkk_flow = g.add_flow(potrf_t, dense_bytes)
+        lkk_flow = add_flow(potrf_t, dense_bytes)
 
         # ---- TRSM(i, k) for i > k ----
         trsm_flows: dict[int, list[int]] = {}
         for i in range(k + 1, nt):
             inputs = [lkk_flow] + tile_dep.pop((i, k), [])
             dense_panel = is_dense(i, k)
-            r = 0 if dense_panel else ranks.rank(i, k)
-            trsm_t = g.add_task(
+            r = 0 if dense_panel else rank_of(i, k)
+            trsm_t = add_task(
                 node=owner(i, k),
                 duration=times.trsm_dense(b) if dense_panel else times.trsm(b, r),
                 priority=prio("trsm", k),
@@ -115,19 +122,19 @@ def build_tlr_cholesky_graph(
                 kind="trsm",
             )
             if dense_panel:
-                trsm_flows[i] = [g.add_flow(trsm_t, dense_bytes)]
+                trsm_flows[i] = [add_flow(trsm_t, dense_bytes)]
             elif two_flow:
                 half = b * r * 8
-                trsm_flows[i] = [g.add_flow(trsm_t, half), g.add_flow(trsm_t, half)]
+                trsm_flows[i] = [add_flow(trsm_t, half), add_flow(trsm_t, half)]
             else:
-                trsm_flows[i] = [g.add_flow(trsm_t, 2 * b * r * 8)]
+                trsm_flows[i] = [add_flow(trsm_t, 2 * b * r * 8)]
 
         # ---- SYRK(i, k) and GEMM(i, j, k) ----
         for i in range(k + 1, nt):
             panel_dense = is_dense(i, k)
-            r_ik = 0 if panel_dense else ranks.rank(i, k)
+            r_ik = 0 if panel_dense else rank_of(i, k)
             syrk_inputs = list(trsm_flows[i]) + tile_dep.pop((i, i), [])
-            syrk_t = g.add_task(
+            syrk_t = add_task(
                 node=owner(i, i),
                 duration=times.syrk_dense(b) if panel_dense else times.syrk(b, r_ik),
                 priority=prio("syrk", k),
@@ -136,7 +143,7 @@ def build_tlr_cholesky_graph(
             )
             # SYRK's output is the updated (i,i) tile: a node-local chain
             # flow consumed by the next update or the POTRF of step i.
-            tile_dep[(i, i)] = [g.add_flow(syrk_t, dense_bytes)]
+            tile_dep[(i, i)] = [add_flow(syrk_t, dense_bytes)]
             for j in range(k + 1, i):
                 gemm_inputs = (
                     list(trsm_flows[i])
@@ -144,8 +151,8 @@ def build_tlr_cholesky_graph(
                     + tile_dep.pop((i, j), [])
                 )
                 c_dense = is_dense(i, j)
-                r_ij = 0 if c_dense else ranks.rank(i, j)
-                gemm_t = g.add_task(
+                r_ij = 0 if c_dense else rank_of(i, j)
+                gemm_t = add_task(
                     node=owner(i, j),
                     duration=times.gemm_mixed(
                         b,
@@ -159,7 +166,7 @@ def build_tlr_cholesky_graph(
                     kind="gemm",
                 )
                 out_bytes = dense_bytes if c_dense else 2 * b * r_ij * 8
-                tile_dep[(i, j)] = [g.add_flow(gemm_t, out_bytes)]
+                tile_dep[(i, j)] = [add_flow(gemm_t, out_bytes)]
     return g
 
 

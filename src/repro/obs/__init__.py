@@ -25,7 +25,15 @@ See ``docs/observability.md`` for the event taxonomy and sink API.
 from repro.obs.bus import NULL_BUS, NullBus, ObsBus, Span
 from repro.obs.events import ObsEvent
 from repro.obs.metrics import NULL_COUNTER, NULL_HISTOGRAM, Counter, Histogram
-from repro.obs.sinks import ChromeTraceSink, CsvSink, MemorySink, Sink, memory_of
+from repro.obs.progress import ProgressReporter, peak_rss_bytes
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    CsvSink,
+    MemorySink,
+    Sink,
+    StreamSink,
+    memory_of,
+)
 
 __all__ = [
     "ObsBus",
@@ -33,11 +41,14 @@ __all__ = [
     "NULL_BUS",
     "Span",
     "ObsEvent",
+    "ProgressReporter",
+    "peak_rss_bytes",
     "Counter",
     "Histogram",
     "NULL_COUNTER",
     "NULL_HISTOGRAM",
     "Sink",
+    "StreamSink",
     "MemorySink",
     "ChromeTraceSink",
     "CsvSink",

@@ -19,7 +19,10 @@ semantics.  The sweep engine adds ``sweep_start`` / ``sweep_point`` /
 ``sweep_end`` progress events and the ``sweep.executed`` / ``sweep.cached``
 / ``sweep.failed`` / ``sweep.retried`` counters — these carry wall-clock
 progress (``time`` is 0.0, ``node`` is ``-1``) since a sweep spans many
-independent simulations; see ``docs/observability.md``.
+independent simulations; see ``docs/observability.md``.  Long single runs
+similarly emit ``run_progress`` heartbeats (tasks done/total, events/s,
+RSS, ETA) when a :class:`~repro.obs.progress.ProgressReporter` is
+installed — wall-clock telemetry for the paper-scale N = 360,000 runs.
 """
 
 from __future__ import annotations

@@ -20,11 +20,19 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Optional
+import sys
+from typing import Any, Iterable, Optional
 
 from repro.obs.events import ObsEvent
 
-__all__ = ["Sink", "MemorySink", "ChromeTraceSink", "CsvSink", "memory_of"]
+__all__ = [
+    "Sink",
+    "MemorySink",
+    "ChromeTraceSink",
+    "CsvSink",
+    "StreamSink",
+    "memory_of",
+]
 
 
 def memory_of(source: Any):
@@ -122,6 +130,42 @@ class MemorySink(Sink):
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class StreamSink(Sink):
+    """Print one compact line per event to a text stream.
+
+    The live-progress view behind the CLI's ``--progress`` flags: attach it
+    to a bus filtered to the wall-clock progress kinds (``sweep_start`` /
+    ``sweep_point`` / ``sweep_end``, ``run_progress``) and each event
+    becomes one immediately flushed line on ``stream`` (stderr by default,
+    keeping stdout clean for results).  ``kinds=None`` passes everything —
+    useful for debugging, noisy for real runs.
+    """
+
+    def __init__(self, stream=None, kinds: Optional[Iterable[str]] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.kinds = None if kinds is None else frozenset(kinds)
+
+    def on_event(self, evt: ObsEvent) -> None:
+        if self.kinds is not None and evt.kind not in self.kinds:
+            return
+        info = evt.info
+        if isinstance(info, dict):
+            body = "  ".join(f"{k}={_compact(v)}" for k, v in info.items())
+        else:
+            body = "" if info is None else str(info)
+        key = "" if evt.key is None else f" {evt.key}"
+        print(f"[{evt.kind}]{key}  {body}".rstrip(), file=self.stream, flush=True)
+
+
+def _compact(value: Any) -> str:
+    """Short rendering for StreamSink info values."""
+    if isinstance(value, float):
+        return f"{value:,.3g}" if abs(value) >= 1000 else f"{value:.4g}"
+    if isinstance(value, int) and abs(value) >= 1000:
+        return f"{value:,}"
+    return str(value)
 
 
 def _chrome_tid(evt: ObsEvent) -> int:

@@ -262,8 +262,19 @@ class ParsecContext:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, graph: TaskGraph, until: Optional[float] = None) -> RunStats:
-        """Execute ``graph`` to completion and return the statistics."""
+    def run(
+        self,
+        graph: TaskGraph,
+        until: Optional[float] = None,
+        progress=None,
+    ) -> RunStats:
+        """Execute ``graph`` to completion and return the statistics.
+
+        ``progress`` installs run-progress heartbeats for the duration of
+        the run: pass a :class:`~repro.obs.progress.ProgressReporter`, or
+        ``True`` for one with defaults (bus-only, 1 s cadence).  The
+        reporter is observational — it cannot change the schedule.
+        """
         n = self.platform.num_nodes
         graph.validate(num_nodes=n)
         self._total_tasks = graph.num_tasks
@@ -272,7 +283,19 @@ class ParsecContext:
             node.load(graph, workers)
         for node in self.nodes:
             node.start_threads(workers)
-        self.sim.run(until=until)
+        if progress is not None and progress is not False:
+            if progress is True:
+                from repro.obs.progress import ProgressReporter
+
+                progress = ProgressReporter()
+            progress.install(self)
+        else:
+            progress = None
+        try:
+            self.sim.run(until=until)
+        finally:
+            if progress is not None:
+                progress.finish()
         if not self.stopped:
             # A crashed comm/progress/worker thread looks like a deadlock
             # from the outside — surface its exception instead.

@@ -314,10 +314,16 @@ class MpiBackend(CommEngine):
         else:
             self.stats["puts_completed"] += 1
             cb, cb_data = self._am_entry(TAG_PUT_COMPLETE)
+            data = t.req.payload["put"]
+            # Drop the completed request's reference to the payload: the
+            # request object can outlive the transfer (request tables,
+            # traces), and at paper scale pinning every delivered tile
+            # would dominate resident memory.
+            t.req.payload = None
             yield from cb(
                 self,
                 TAG_PUT_COMPLETE,
-                {"r_cb_data": t.cb_data, "data": t.req.payload["put"]},
+                {"r_cb_data": t.cb_data, "data": data},
                 t.size,
                 t.peer,
                 cb_data,

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 from repro.errors import RuntimeBackendError
 from repro.runtime.comm_engine import TAG_ACTIVATE, TAG_GETDATA, TAG_PUT_COMPLETE
 from repro.runtime.scheduler import make_scheduler
-from repro.runtime.taskpool import TaskGraph, TaskSpec
+from repro.runtime.taskpool import TaskGraph
 from repro.sim.core import Interrupt
 from repro.sim.primitives import NotifyQueue, PriorityStore
 
@@ -85,11 +85,19 @@ class NodeRuntime:
         self.cmd_q = NotifyQueue(self.sim)
         #: Deferred GET DATA queue, highest priority first (§4.3 duty 3).
         self.getdata_q = PriorityStore(self.sim)
-        # Dataflow state.
+        # Dataflow state.  All four maps are reference-counted per flow and
+        # emptied as soon as every local consumer and multicast serve has
+        # happened, so live protocol state is bounded by in-flight flows,
+        # not total flows (paper-scale graphs have ~585k of the latter).
         self.flow_available: set[int] = set()
         self.flow_states: dict[int, _FlowState] = {}
         self.input_remaining: dict[int, int] = {}
         self.serves_remaining: dict[int, int] = {}
+        #: Outstanding obligations per available flow: one per unsatisfied
+        #: local consumer plus one per multicast child still to be served.
+        self.flow_refs: dict[int, int] = {}
+        #: Flows fully consumed and dropped from the maps above.
+        self.flows_retired = 0
         self.cleanups_done = 0
         self.tasks_executed = 0
         self.busy_time = 0.0
@@ -106,16 +114,20 @@ class NodeRuntime:
 
     def load(self, graph: TaskGraph, num_workers: int) -> None:
         """Bind a task graph: build the scheduler, seed source tasks."""
-        self.graph = graph
+        self.graph = graph.freeze()
+        # Column handles for the hot paths (plain arrays: int/float reads).
+        self._t_node = graph._t_node
+        self._t_dur = graph._t_dur
+        self._t_prio = graph._t_prio
         self.sched = make_scheduler(
             getattr(self.ctx, "scheduler", "central"), self.sim, num_workers
         )
-        for task in graph.tasks.values():
-            if task.node != self.rank:
-                continue
-            self.input_remaining[task.task_id] = len(task.inputs)
-            if not task.inputs:
-                self.sched.push(-task.priority, task)
+        prio = self._t_prio
+        for tid in graph.task_ids_on(self.rank):
+            n_in = graph.input_count(tid)
+            self.input_remaining[tid] = n_in
+            if not n_in:
+                self.sched.push(-prio[tid], tid)
 
     # ------------------------------------------------------------------
     # threads
@@ -158,36 +170,40 @@ class NodeRuntime:
         rt = self.rt
         obs = self.ctx.obs
         faults = self.ctx.faults
+        durations = self._t_dur
         try:
             while True:
-                task: TaskSpec = yield from self.sched.pop(wid)
+                tid: int = yield from self.sched.pop(wid)
                 start = self.sim.now
                 yield self.sim.timeout(rt.sched_op + rt.task_spawn)
-                if task.duration > 0:
+                duration = durations[tid]
+                if duration > 0:
                     if faults.enabled:
                         # Straggler injection stretches this node's compute.
                         yield self.sim.timeout(
-                            task.duration * faults.compute_scale(self.rank)
+                            duration * faults.compute_scale(self.rank)
                         )
                     else:
-                        yield self.sim.timeout(task.duration)
+                        yield self.sim.timeout(duration)
                 self.busy_time += self.sim.now - start
                 if obs.enabled:
                     obs.emit(
                         "task_exec",
                         self.rank,
                         key=(self.rank, wid),
-                        info=(task.kind, self.sim.now - start),
+                        info=(self.graph.task_kind(tid), self.sim.now - start),
                         time=start,
                     )
-                yield from self._complete_task(task, wid)
+                yield from self._complete_task(tid, wid)
         except Interrupt:
             return
 
-    def _complete_task(self, task: TaskSpec, wid: Optional[int] = None) -> Generator:
+    def _complete_task(self, tid: int, wid: Optional[int] = None) -> Generator:
         self.tasks_executed += 1
-        self.ctx.on_task_done(task)
-        for fid in task.outputs:
+        # The hook's contract passes a spec view (wrappers read .kind etc.);
+        # views are two-slot proxies, so this stays allocation-cheap.
+        self.ctx.on_task_done(self.graph.tasks[tid])
+        for fid in self.graph.outputs_of(tid):
             yield self.sim.timeout(self.rt.sched_op)
             yield from self._release_flow(fid, initial=True, origin=wid)
 
@@ -195,33 +211,45 @@ class NodeRuntime:
         self, fid: int, initial: bool, origin: Optional[int] = None
     ) -> Generator:
         """Data for ``fid`` is now available here: satisfy local consumers
-        and activate the multicast subtree."""
+        and activate the multicast subtree.
+
+        The flow is tracked with a reference count — one per local
+        consumer, one per multicast child to serve — and every map entry
+        for it is dropped the moment the count drains, so a node's live
+        protocol state scales with in-flight flows only."""
         graph = self.graph
-        flow = graph.flows[fid]
-        self.flow_available.add(fid)
-        # Local consumers (released to the originating worker's queue when
-        # the work-stealing scheduler is active — data affinity).
-        for tid in flow.consumers:
-            consumer = graph.tasks[tid]
-            if consumer.node == self.rank:
-                self._satisfy_input(consumer, origin)
+        rank = self.rank
+        t_node = self._t_node
+        consumers = graph.consumers_of(fid)
+        local = [tid for tid in consumers if t_node[tid] == rank]
         if initial:
             # Producer: build the multicast tree over remote consumer nodes.
-            remote = sorted(n for n in graph.consumer_nodes(flow) if n != self.rank)
-            if not remote:
-                return
-            tree = binomial_tree([self.rank] + remote)
-            children = tree[1]
+            remote = sorted({t_node[tid] for tid in consumers} - {rank})
+            children = binomial_tree([rank] + remote)[1] if remote else ()
             state = None
         else:
             state = self.flow_states.get(fid)
             children = state.subtree[1] if state is not None else ()
+        refs = len(local) + len(children)
+        if not refs:
+            # Nothing at this node will ever read the flow again.
+            self.flow_states.pop(fid, None)
+            self.flows_retired += 1
+            return
+        self.flow_available.add(fid)
+        self.flow_refs[fid] = refs
+        # Local consumers (released to the originating worker's queue when
+        # the work-stealing scheduler is active — data affinity).
+        for tid in local:
+            self._satisfy_input(tid, origin)
+            self._unref_flow(fid)
         if not children:
             return
         self.serves_remaining[fid] = len(children)
         prio = max(
-            (graph.tasks[tid].priority for tid in flow.consumers), default=0.0
+            (self._t_prio[tid] for tid in consumers), default=0.0
         )
+        flow_size = graph.flow_size(fid)
         for child in children:
             # Latency stamps are taken when the activation is handed to the
             # communication layer ("send of the ACTIVATE message following
@@ -231,7 +259,7 @@ class NodeRuntime:
             now = self.sim.now
             ad = {
                 "flow": fid,
-                "size": flow.size,
+                "size": flow_size,
                 "holder": self.rank,
                 "sub": child,
                 "prio": prio,
@@ -256,15 +284,41 @@ class NodeRuntime:
         else:
             self.cmd_q.push(("activate", dst, ad))
 
-    def _satisfy_input(self, consumer: TaskSpec, origin: Optional[int] = None) -> None:
-        remaining = self.input_remaining[consumer.task_id] - 1
-        self.input_remaining[consumer.task_id] = remaining
+    def _satisfy_input(self, tid: int, origin: Optional[int] = None) -> None:
+        remaining = self.input_remaining[tid] - 1
+        self.input_remaining[tid] = remaining
         if remaining == 0:
-            self.sched.push(-consumer.priority, consumer, origin)
+            self.sched.push(-self._t_prio[tid], tid, origin)
         elif remaining < 0:
             raise RuntimeBackendError(
-                f"task {consumer.task_id}: dependence count went negative"
+                f"task {tid}: dependence count went negative"
             )
+
+    def _unref_flow(self, fid: int) -> None:
+        """Drop one obligation on ``fid``; retire all its state at zero."""
+        refs = self.flow_refs.get(fid)
+        if refs is None:
+            return
+        refs -= 1
+        if refs:
+            self.flow_refs[fid] = refs
+        else:
+            del self.flow_refs[fid]
+            self.flow_available.discard(fid)
+            self.flow_states.pop(fid, None)
+            self.flows_retired += 1
+
+    def quiescence_report(self) -> dict:
+        """Depths of the per-flow protocol maps (all zero after a fully
+        drained run) plus the running retire counter."""
+        return {
+            "flow_available": len(self.flow_available),
+            "flow_refs": len(self.flow_refs),
+            "flow_states": len(self.flow_states),
+            "serves_remaining": len(self.serves_remaining),
+            "getdata_q": len(self.getdata_q),
+            "flows_retired": self.flows_retired,
+        }
 
     # ------------------------------------------------------------------
     # communication thread (§4.3)
@@ -377,10 +431,9 @@ class NodeRuntime:
             raise RuntimeBackendError(
                 f"node {self.rank}: GET DATA for flow {fid} before data ready"
             )
-        flow = self.graph.flows[fid]
         yield from engine.put(
             data=("flowdata", fid),
-            size=flow.size,
+            size=self.graph.flow_size(fid),
             remote=src,
             l_cb=self._put_local_cb,
             r_cb_data={"flow": fid},
@@ -388,7 +441,10 @@ class NodeRuntime:
         )
 
     def _put_local_cb(self, engine, fid) -> Generator:
-        """Origin-side put completion: cleanup bookkeeping (Fig. 1)."""
+        """Origin-side put completion: cleanup bookkeeping (Fig. 1).
+
+        Each completed serve releases one reference on the flow, so a
+        fully-served, fully-consumed flow vanishes from every map here."""
         remaining = self.serves_remaining.get(fid)
         if remaining is not None:
             remaining -= 1
@@ -397,6 +453,7 @@ class NodeRuntime:
                 self.cleanups_done += 1
             else:
                 self.serves_remaining[fid] = remaining
+            self._unref_flow(fid)
         return
         yield  # pragma: no cover - generator shape
 

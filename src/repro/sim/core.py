@@ -33,6 +33,7 @@ single-threaded — simulated "threads" are processes).
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -317,12 +318,17 @@ class Simulator:
 
     __slots__ = (
         "now", "obs", "policy", "_heap", "_ready", "_seq", "_running",
-        "_event_count",
+        "_event_count", "_tick_fn", "_tick_every",
     )
 
     def __init__(self, obs=None, policy: Optional[SchedulePolicy] = None) -> None:
         self.now: float = 0.0
         self.obs = obs if obs is not None else NULL_BUS
+        #: Optional coarse heartbeat: ``_tick_fn(event_count)`` runs every
+        #: ``_tick_every`` processed events (see :meth:`set_tick`).  The
+        #: disabled path costs one int compare against +inf per iteration.
+        self._tick_fn: Optional[Callable[[int], None]] = None
+        self._tick_every: int = 0
         #: Optional same-timestamp tie-break policy.  ``None`` (the default)
         #: keeps the original merged heap/ready fast path byte-for-byte; a
         #: policy routes :meth:`run` through :meth:`_run_policy` instead.
@@ -397,6 +403,22 @@ class Simulator:
         """Total heap entries processed so far (diagnostic)."""
         return self._event_count
 
+    def set_tick(self, fn: Optional[Callable[[int], None]], every: int = 16384) -> None:
+        """Install (or clear, with ``fn=None``) a run-loop heartbeat.
+
+        ``fn(event_count)`` is invoked from inside :meth:`run` roughly every
+        ``every`` processed events — a coarse, deterministic-in-simulation
+        hook for wall-clock progress reporting (:mod:`repro.obs.progress`).
+        The callback runs *between* event dispatches and must not schedule
+        simulation work; it sees the kernel mid-run, so treat the simulator
+        as read-only.  With no tick installed the run loop pays only one
+        integer compare per iteration.
+        """
+        if fn is not None and every < 1:
+            raise SimulationError(f"tick interval must be >= 1, got {every!r}")
+        self._tick_fn = fn
+        self._tick_every = every if fn is not None else 0
+
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap empties or simulated time reaches ``until``.
 
@@ -411,8 +433,13 @@ class Simulator:
         ready = self._ready
         heappop = heapq.heappop
         count = self._event_count
+        tick_fn = self._tick_fn
+        next_tick = count + self._tick_every if tick_fn is not None else math.inf
         try:
             while True:
+                if count >= next_tick:
+                    tick_fn(count)
+                    next_tick = count + self._tick_every
                 if ready:
                     # A heap entry can only precede the ready head when it
                     # is stamped at the current time with a smaller seq
@@ -480,8 +507,13 @@ class Simulator:
         ready = self._ready
         heappop = heapq.heappop
         count = self._event_count
+        tick_fn = self._tick_fn
+        next_tick = count + self._tick_every if tick_fn is not None else math.inf
         try:
             while True:
+                if count >= next_tick:
+                    tick_fn(count)
+                    next_tick = count + self._tick_every
                 while heap and heap[0][0] <= self.now:
                     _w, seq, event, fn, args = heappop(heap)
                     ready.append((seq, event, fn, args))

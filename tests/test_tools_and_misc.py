@@ -109,6 +109,19 @@ class TestRepoCheckers:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "bit-identical" in proc.stdout
 
+    def test_paper_scale_budget(self, tmp_path):
+        # Build-only mode (~5 s): asserts the NT=150 graph build/memory
+        # budgets; --out keeps the checked-in BENCH_scale.json untouched.
+        proc = subprocess.run(
+            [sys.executable,
+             str(ROOT / "tools" / "check_paper_scale_budget.py"),
+             "--out", str(tmp_path / "BENCH_scale.json")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "paper-scale budgets OK" in proc.stdout
+
     def test_explorer_finds_planted_bugs(self):
         # The mutation smoke test: the explorer must catch both known-bad
         # protocol variants and replay each from its shrunk schedule.

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Check: the paper-scale configuration (N = 360,000) stays tractable.
+
+Builds the full NT=150 two-flow TLR Cholesky task graph (~575k tasks,
+~585k flows — the ``REPRO_PAPER_SCALE=1`` Fig. 4 point at tile 2400) and
+asserts the budgets the array-backed :class:`TaskGraph` was introduced to
+meet:
+
+- graph build + freeze + validate completes in under ``--build-budget``
+  seconds (default 60);
+- peak RSS stays under ``--rss-budget`` GiB (default 4).
+
+Results land in ``BENCH_scale.json`` next to the repo root (build seconds,
+peak RSS, tasks/flows, and — with ``--full`` — the end-to-end simulated
+run's wall time, kernel events/second, and makespan).  The default mode
+checks construction only, so it is cheap enough for the test suite; the
+``--full`` run is the acceptance gate behind the EXPERIMENTS.md paper-scale
+runbook.
+
+Run as::
+
+    python tools/check_paper_scale_budget.py [--full] [--nodes 16]
+        [--tile 2400] [--build-budget 60] [--rss-budget 4.0] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.hicma.dag import build_tlr_cholesky_graph, expected_task_count  # noqa: E402
+from repro.obs.progress import peak_rss_bytes  # noqa: E402
+
+PAPER_N = 360_000
+
+
+def build_check(nodes: int, tile: int) -> dict:
+    """Build + freeze + validate the paper-scale graph; return metrics."""
+    nt = PAPER_N // tile
+    t0 = time.perf_counter()
+    graph = build_tlr_cholesky_graph(nt, tile, num_nodes=nodes)
+    t_build = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    graph.freeze()
+    t_freeze = time.perf_counter() - t1
+    t2 = time.perf_counter()
+    graph.validate(num_nodes=nodes)
+    t_validate = time.perf_counter() - t2
+    assert graph.num_tasks == expected_task_count(nt)
+    return {
+        "matrix_size": PAPER_N,
+        "tile_size": tile,
+        "nt": nt,
+        "num_nodes": nodes,
+        "tasks": graph.num_tasks,
+        "flows": graph.num_flows,
+        "build_seconds": round(t_build, 3),
+        "freeze_seconds": round(t_freeze, 3),
+        "validate_seconds": round(t_validate, 3),
+        "total_build_seconds": round(t_build + t_freeze + t_validate, 3),
+        "peak_rss_gib": round(peak_rss_bytes() / 2**30, 3),
+    }
+
+
+def full_run(nodes: int, tile: int) -> dict:
+    """Simulate the paper-scale point end to end; return run metrics."""
+    from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+    from repro.config import expanse_platform
+    from repro.obs.progress import ProgressReporter
+
+    cfg = HicmaConfig(matrix_size=PAPER_N, tile_size=tile, num_nodes=nodes)
+    reporter = ProgressReporter(interval=10.0, stream=sys.stderr)
+    t0 = time.perf_counter()
+    result = run_hicma_benchmark(
+        "lci", cfg, expanse_platform(num_nodes=nodes), progress=reporter
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "run_wall_seconds": round(wall, 1),
+        "makespan_seconds": result.time_to_solution,
+        "tasks_executed": result.tasks,
+        "mean_flow_latency": result.flow_latency.get("mean", 0.0),
+        "activates_sent": result.activates_sent,
+        "wire_bytes": result.wire_bytes,
+        "peak_rss_gib": round(peak_rss_bytes() / 2**30, 3),
+        "progress_beats": reporter.beats,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--full", action="store_true",
+                    help="also simulate the run end to end (minutes)")
+    ap.add_argument("--nodes", type=int, default=16)
+    ap.add_argument("--tile", type=int, default=2400)
+    ap.add_argument("--build-budget", type=float, default=60.0,
+                    help="max seconds for build+freeze+validate")
+    ap.add_argument("--rss-budget", type=float, default=4.0,
+                    help="max peak RSS in GiB")
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_scale.json"))
+    args = ap.parse_args(argv)
+
+    doc = build_check(args.nodes, args.tile)
+    problems = []
+    if doc["total_build_seconds"] > args.build_budget:
+        problems.append(
+            f"graph build took {doc['total_build_seconds']:.1f}s "
+            f"(> {args.build_budget:.0f}s budget)"
+        )
+    if doc["peak_rss_gib"] > args.rss_budget:
+        problems.append(
+            f"peak RSS {doc['peak_rss_gib']:.2f} GiB "
+            f"(> {args.rss_budget:.1f} GiB budget)"
+        )
+    print(
+        f"paper-scale build: NT={doc['nt']} -> {doc['tasks']:,} tasks, "
+        f"{doc['flows']:,} flows in {doc['total_build_seconds']:.1f}s "
+        f"(build {doc['build_seconds']:.1f} + freeze {doc['freeze_seconds']:.1f} "
+        f"+ validate {doc['validate_seconds']:.1f}), "
+        f"peak RSS {doc['peak_rss_gib']:.2f} GiB"
+    )
+
+    if args.full:
+        run = full_run(args.nodes, args.tile)
+        doc["full_run"] = run
+        if run["peak_rss_gib"] > args.rss_budget:
+            problems.append(
+                f"full-run peak RSS {run['peak_rss_gib']:.2f} GiB "
+                f"(> {args.rss_budget:.1f} GiB budget)"
+            )
+        events = run["progress_beats"]
+        print(
+            f"paper-scale run: {run['tasks_executed']:,} tasks, "
+            f"makespan {run['makespan_seconds']:.1f}s simulated in "
+            f"{run['run_wall_seconds']:.0f}s wall, peak RSS "
+            f"{run['peak_rss_gib']:.2f} GiB, {events} progress beats"
+        )
+
+    with open(args.out, "w") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"wrote {args.out}")
+
+    if problems:
+        for p in problems:
+            print(f"BUDGET EXCEEDED: {p}")
+        return 1
+    print("paper-scale budgets OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
