@@ -86,6 +86,8 @@ class HicmaResult:
     activates_sent: int = 0
     wire_bytes: int = 0
     worker_utilization: float = 0.0
+    #: Kernel events fired during the run (events/s = this / wall time).
+    events_processed: int = 0
 
     @property
     def mean_flow_latency(self) -> float:
@@ -173,6 +175,7 @@ def run_hicma_benchmark(
         activates_sent=stats.activates_sent,
         wire_bytes=stats.wire_bytes,
         worker_utilization=stats.worker_utilization,
+        events_processed=stats.events_processed,
     )
 
 

@@ -235,7 +235,7 @@ class FaultEngine:
 
     def _invalidate_route(self, src: int, dst: int) -> None:
         if self._fabric is not None:
-            self._fabric._lat_cache.pop((src, dst), None)
+            self._fabric.invalidate_route(src, dst)
 
     def route_latency(self, src: int, dst: int, base: float) -> float:
         """Base latency adjusted for this route's health (fabric cache-miss

@@ -50,7 +50,7 @@ class CompletionQueue:
     def pop(self) -> Generator[Any, Any, CompletionRecord]:
         """Blocking pop (generator)."""
         record = yield self._store.get()
-        yield self.sim.timeout(self.costs.cq_pop)
+        yield self.costs.cq_pop
         return record
 
     def try_pop(self) -> Optional[CompletionRecord]:

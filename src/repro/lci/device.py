@@ -32,7 +32,7 @@ from repro.lci.constants import LCI_ERR_RETRY, LCI_OK
 from repro.network.fabric import Fabric
 from repro.network.message import MessageClass, WireMessage
 from repro.obs.bus import ObsBus
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Process, Simulator
 
 __all__ = ["LciDevice", "LciWorld"]
 
@@ -163,8 +163,11 @@ class LciDevice:
 
     def _notify(self) -> None:
         waiters, self._waiters = self._waiters, []
-        for evt in waiters:
-            evt.succeed()
+        for w in waiters:
+            if isinstance(w, Process):
+                w.wake()
+            else:
+                w.succeed()
 
     def activity_event(self) -> Event:
         """Fires when there is (or as soon as there is) progress work."""
@@ -174,6 +177,18 @@ class LciDevice:
         else:
             self._waiters.append(evt)
         return evt
+
+    def park(self, proc: Process) -> bool:
+        """Register a parked process to wake on the next progress work.
+
+        Returns ``False`` when work is already pending — the caller should
+        run a progress pass instead of parking.  Deduplicated.
+        """
+        if self._hw or self._rx_proto or (self._rx_am and self.rx_packets_free > 0):
+            return False
+        if proc not in self._waiters:
+            self._waiters.append(proc)
+        return True
 
     @property
     def pending_work(self) -> int:
@@ -193,7 +208,7 @@ class LciDevice:
             raise LciError(
                 f"sendi of {size} B exceeds immediate limit {self.costs.immediate_max}"
             )
-        yield self.sim.timeout(self.costs.immediate_send)
+        yield self.costs.immediate_send
         self._send_am_wire(dst, tag, size, data, proto="short")
         return LCI_OK
 
@@ -211,9 +226,7 @@ class LciDevice:
             return LCI_ERR_RETRY
         self.tx_packets_free -= 1
         self._h_tx_pool.observe(self.costs.packet_pool_size - self.tx_packets_free)
-        yield self.sim.timeout(
-            self.costs.buffered_send + size * self.costs.copy_per_byte
-        )
+        yield self.costs.buffered_send + size * self.costs.copy_per_byte
         msg = self._send_am_wire(dst, tag, size, data, proto="buffered")
         # The packet is held until the NIC has read it (tail departure).
         hold = max(msg.depart_time - self.sim.now, 0.0)
@@ -253,7 +266,7 @@ class LciDevice:
         self.send_slots_free -= 1
         op = _DirectOp(dst, tag, size, data, comp, user_ctx)
         self._send_ops[op.op_id] = op
-        yield self.sim.timeout(self.costs.direct_post)
+        yield self.costs.direct_post
         self.world.fabric.send(
             WireMessage(
                 src=self.node,
@@ -292,7 +305,7 @@ class LciDevice:
         self.send_slots_free -= 1
         op = _DirectOp(dst, tag, size, data, comp, user_ctx)
         self._send_ops[op.op_id] = op
-        yield self.sim.timeout(self.costs.direct_post)
+        yield self.costs.direct_post
         payload = {"kind": "rdma", "one_sided": True}
         if self.faults.enabled:
             # Completion material travels with the message so the receiver
@@ -332,7 +345,7 @@ class LciDevice:
         self.recv_slots_free -= 1
         op = _DirectOp(src, tag, size, None, comp, user_ctx)
         self._recv_ops[op.op_id] = op
-        yield self.sim.timeout(self.costs.direct_post)
+        yield self.costs.direct_post
         # Check unexpected RTS first (handshake may have raced us).
         for i, (rts_src, p) in enumerate(self._unexpected_rts):
             if rts_src == src and p["tag"] == tag:
@@ -353,13 +366,13 @@ class LciDevice:
         # 1. Hardware completions (send FINs, RDMA write arrivals).
         while self._hw:
             record = self._hw.popleft()
-            yield self.sim.timeout(self.costs.completion_drain)
+            yield self.costs.completion_drain
             self._handle_hw(record)
             n += 1
         # 2. Protocol control messages (RTS/RTR).
         while self._rx_proto:
             msg = self._rx_proto.popleft()
-            yield self.sim.timeout(self.costs.completion_drain)
+            yield self.costs.completion_drain
             self._handle_proto(msg)
             n += 1
         # 3. Active messages, limited by RX packet availability.
@@ -367,16 +380,14 @@ class LciDevice:
             msg = self._rx_am.popleft()
             self.rx_packets_free -= 1
             self._h_rx_pool.observe(self.costs.packet_pool_size - self.rx_packets_free)
-            yield self.sim.timeout(
-                self.costs.completion_drain + self.costs.refill_recv
-            )
+            yield self.costs.completion_drain + self.costs.refill_recv
             p = msg.payload
             record = CompletionRecord(
                 "am", msg.src, p["tag"], p["size"], payload=p["data"]
             )
             if self.am_handler is None:
                 raise LciError(f"node {self.node}: active message with no handler")
-            yield self.sim.timeout(self.costs.handler_dispatch)
+            yield self.costs.handler_dispatch
             result = self.am_handler(record)
             if hasattr(result, "send"):
                 # Generator handler: run it here so its CPU cost lands on the

@@ -40,7 +40,7 @@ from repro.mpi.requests import (
 from repro.network.fabric import Fabric
 from repro.network.message import MessageClass, WireMessage
 from repro.obs.bus import NULL_BUS, ObsBus
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Process, Simulator
 from repro.units import KiB
 
 __all__ = ["MpiWorld", "MpiRank", "ANY_SOURCE"]
@@ -133,8 +133,11 @@ class MpiRank:
 
     def _notify(self) -> None:
         waiters, self._waiters = self._waiters, []
-        for evt in waiters:
-            evt.succeed()
+        for w in waiters:
+            if isinstance(w, Process):
+                w.wake()
+            else:
+                w.succeed()
 
     def activity_event(self) -> Event:
         """Event that fires on the next inbox delivery or completion.
@@ -147,6 +150,18 @@ class MpiRank:
         else:
             self._waiters.append(evt)
         return evt
+
+    def park(self, proc: Process) -> bool:
+        """Register a parked process for the next delivery/completion.
+
+        Returns ``False`` when inbox work is already pending — the caller
+        should drain instead of parking.  Registration is deduplicated.
+        """
+        if self._inbox:
+            return False
+        if proc not in self._waiters:
+            self._waiters.append(proc)
+        return True
 
     @property
     def pending_incoming(self) -> int:
@@ -193,9 +208,7 @@ class MpiRank:
                     self.obs.emit(
                         "mpi_eager_send", self.rank, key=(self.rank, dst, tag), info=size
                     )
-                yield self.sim.timeout(
-                    self.costs.eager_send + size * self.costs.eager_copy_per_byte
-                )
+                yield self.costs.eager_send + size * self.costs.eager_copy_per_byte
                 self.world.fabric.send(
                     WireMessage(
                         src=self.rank,
@@ -222,7 +235,7 @@ class MpiRank:
                         "mpi_rndv_rts", self.rank, key=(self.rank, dst, tag), info=size
                     )
                 self._sends[sreq.req_id] = sreq
-                yield self.sim.timeout(self.costs.post_request)
+                yield self.costs.post_request
                 self.world.fabric.send(
                     WireMessage(
                         src=self.rank,
@@ -249,7 +262,7 @@ class MpiRank:
         yield from self._acquire()
         try:
             rreq = RecvRequest(self.sim, src, tag, max_size)
-            yield self.sim.timeout(self.costs.post_request)
+            yield self.costs.post_request
             env = self.match.post_recv(rreq)
             if env is not None:
                 yield from self._match_found(rreq, env)
@@ -269,7 +282,7 @@ class MpiRank:
         """Arm (or re-arm) a persistent receive — ``MPI_Start``."""
         yield from self._acquire()
         try:
-            yield self.sim.timeout(self.costs.restart_persistent)
+            yield self.costs.restart_persistent
             preq._rearm()
             env = self.match.post_recv(preq)
             if env is not None:
@@ -286,10 +299,8 @@ class MpiRank:
         try:
             yield from self._progress_locked()
             active = [r for r in requests if r is not None and r.active]
-            yield self.sim.timeout(
-                self.costs.testsome_base
-                + self.costs.testsome_per_request * len(active)
-            )
+            yield (self.costs.testsome_base
+                   + self.costs.testsome_per_request * len(active))
             out = []
             for i, req in enumerate(requests):
                 if req is not None and req.active and req.done:
@@ -327,11 +338,11 @@ class MpiRank:
 
     def win_attach(self, size: int) -> Generator:
         """Attach memory to the dynamic window (expensive, see [25])."""
-        yield self.sim.timeout(self.costs.win_attach)
+        yield self.costs.win_attach
 
     def win_detach(self) -> Generator:
         """Detach memory from the dynamic window."""
-        yield self.sim.timeout(self.costs.win_detach)
+        yield self.costs.win_detach
 
     def rma_put(
         self, dst: int, size: int, payload: Any = None
@@ -349,7 +360,7 @@ class MpiRank:
         yield from self._acquire()
         try:
             req = Request(self.sim)
-            yield self.sim.timeout(self.costs.rma_put_post)
+            yield self.costs.rma_put_post
             wire_payload = {"kind": "rma_put", "size": size, "data": payload}
             if self.faults.enabled:
                 # The request rides along so the target can schedule the
@@ -377,7 +388,7 @@ class MpiRank:
 
     def flush(self, req: Request) -> Generator:
         """MPI_Win_flush: wait for an RMA operation's remote completion."""
-        yield self.sim.timeout(self.costs.rma_flush)
+        yield self.costs.rma_flush
         if not req.done:
             yield from self.wait(req)
 
@@ -407,11 +418,11 @@ class MpiRank:
         n = 0
         while self._inbox:
             msg = self._inbox.popleft()
-            yield self.sim.timeout(self.costs.match)
+            yield self.costs.match
             yield from self._handle(msg)
             walked = self.match.take_walked()
             if walked:
-                yield self.sim.timeout(walked * self.costs.match_per_queue_entry)
+                yield walked * self.costs.match_per_queue_entry
             n += 1
         return n
 
@@ -429,7 +440,7 @@ class MpiRank:
             else:
                 self._note_unexpected()
                 # Unexpected eager: copy into a temporary buffer now.
-                yield self.sim.timeout(env.size * self.costs.eager_copy_per_byte)
+                yield env.size * self.costs.eager_copy_per_byte
         elif kind == "rts":
             env = Envelope(
                 src=msg.src, tag=p["tag"], size=p["size"], kind="rts",
@@ -449,7 +460,7 @@ class MpiRank:
                     "mpi_rndv_cts", self.rank,
                     key=(sreq.dst, self.rank, sreq.tag), info=sreq.size,
                 )
-            yield self.sim.timeout(self.costs.rendezvous_ctrl + self.costs.post_request)
+            yield self.costs.rendezvous_ctrl + self.costs.post_request
             deliver = self.world.fabric.send(
                 WireMessage(
                     src=self.rank,
@@ -492,13 +503,13 @@ class MpiRank:
         rreq.source = env.src
         rreq.recv_tag = env.tag
         if env.kind == "eager":
-            yield self.sim.timeout(env.size * self.costs.eager_copy_per_byte)
+            yield env.size * self.costs.eager_copy_per_byte
             rreq.recv_size = env.size
             rreq.payload = env.payload
             rreq._complete()
             self._notify()
         else:  # rendezvous RTS: reply CTS, park until rdata arrives
-            yield self.sim.timeout(self.costs.rendezvous_ctrl)
+            yield self.costs.rendezvous_ctrl
             self._rndv_recvs[rreq.req_id] = rreq
             self.world.fabric.send(
                 WireMessage(

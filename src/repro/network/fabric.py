@@ -8,6 +8,7 @@ constant memory-copy latency.
 
 from __future__ import annotations
 
+import math
 import warnings
 from typing import Callable, Optional
 
@@ -58,8 +59,15 @@ class Fabric:
         )
         self.nics = [NicState(self.cfg) for _ in range(num_nodes)]
         self._handlers: dict[tuple[int, str], Handler] = {}
-        # Cache per (src,dst) base latency.
-        self._lat_cache: dict[tuple[int, int], float] = {}
+        #: Per-channel handler *columns*: channel -> flat list indexed by
+        #: node rank.  The send hot path does one dict probe on the
+        #: (interned) channel string plus a list index instead of building
+        #: and hashing a ``(dst, channel)`` tuple per message.
+        self._hcols: dict[str, list[Optional[Handler]]] = {}
+        #: Flat per-route base-latency table indexed ``src * N + dst``
+        #: (``nan`` = not computed yet) — the columnar replacement for the
+        #: old ``(src, dst)``-keyed dict cache.
+        self._lat_flat: list[float] = [math.nan] * (num_nodes * num_nodes)
         self._set_obs(obs if obs is not None else sim.obs)
         self.faults = faults if faults is not None else NULL_FAULTS
         if self.faults.enabled:
@@ -110,18 +118,26 @@ class Fabric:
         if key in self._handlers:
             raise NetworkError(f"handler already registered for {key}")
         self._handlers[key] = handler
+        col = self._hcols.get(channel)
+        if col is None:
+            col = self._hcols[channel] = [None] * self.num_nodes
+        col[node] = handler
+
+    def invalidate_route(self, src: int, dst: int) -> None:
+        """Forget the cached base latency for one route (fault-engine hook:
+        degraded/re-routed links change it)."""
+        self._lat_flat[src * self.num_nodes + dst] = math.nan
 
     def base_latency(self, src: int, dst: int) -> float:
         """Zero-load wire latency between two nodes."""
-        key = (src, dst)
-        lat = self._lat_cache.get(key)
-        if lat is None:
+        lat = self._lat_flat[src * self.num_nodes + dst]
+        if lat != lat:  # nan: not computed yet (or invalidated)
             lat = self.cfg.latency(self.topology.hops(src, dst))
             if self.faults.enabled:
                 # Degraded/re-routed routes see a different latency; the
                 # fault engine invalidates this cache on state changes.
                 lat = self.faults.route_latency(src, dst, lat)
-            self._lat_cache[key] = lat
+            self._lat_flat[src * self.num_nodes + dst] = lat
         return lat
 
     def send(self, msg: WireMessage) -> float:
@@ -132,7 +148,8 @@ class Fabric:
         """
         self._check_node(msg.src)
         self._check_node(msg.dst)
-        handler = self._handlers.get((msg.dst, msg.channel))
+        col = self._hcols.get(msg.channel)
+        handler = col[msg.dst] if col is not None else None
         if handler is None:
             raise NetworkError(
                 f"no handler for channel {msg.channel!r} at node {msg.dst}"
@@ -156,7 +173,8 @@ class Fabric:
         msg.depart_time = depart
         msg.deliver_time = deliver
         self._emit_wire(msg, depart, deliver, now)
-        self.sim.call_later(deliver - now, self._deliver, handler, msg)
+        # Schedule the handler itself — no trampoline frame per delivery.
+        self.sim.call_later(deliver - now, handler, msg)
         return deliver
 
     def _emit_wire(self, msg: WireMessage, depart: float, deliver: float, now: float) -> None:
@@ -172,9 +190,6 @@ class Fabric:
             self._c_msgs.inc()
             self._h_bytes.observe(msg.size)
             self._h_tx_backlog.observe(depart - now)
-
-    def _deliver(self, handler: Handler, msg: WireMessage) -> None:
-        handler(msg)
 
     def total_bytes(self) -> int:
         """Total bytes injected into the fabric (diagnostic)."""

@@ -25,7 +25,7 @@ from typing import Any, Callable, Generator, Optional
 from repro.errors import RuntimeBackendError
 from repro.faults.transport import SeqTracker
 from repro.obs.bus import NULL_BUS
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Process, Simulator
 
 __all__ = [
     "BackoffPolicy",
@@ -169,6 +169,13 @@ class CommEngine:
 
     def activity_event(self) -> Event:
         """Event that fires when the engine (may) have work to progress."""
+        raise NotImplementedError
+
+    def park(self, proc: Process) -> bool:
+        """Register ``proc`` (parked on ``yield PARK``) to be woken when the
+        engine may have work; returns ``False`` — without registering — when
+        work is already pending.  The allocation-free replacement for
+        waiting on :meth:`activity_event`."""
         raise NotImplementedError
 
     # -- shared helpers ----------------------------------------------------

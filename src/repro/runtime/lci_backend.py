@@ -40,7 +40,7 @@ from repro.runtime.comm_engine import (
     TAG_PUT_COMPLETE,
     next_data_tag,
 )
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Process, Simulator
 from repro.sim.primitives import NotifyQueue
 
 __all__ = ["LciBackend"]
@@ -150,7 +150,7 @@ class LciBackend(CommEngine):
                     break
                 attempt += 1
                 self._c_send_retry.inc()
-                yield self.sim.timeout(self.backoff.delay(attempt))
+                yield self.backoff.delay(attempt)
 
     def put(
         self,
@@ -185,7 +185,7 @@ class LciBackend(CommEngine):
                     return
                 attempt += 1
                 self._c_send_retry.inc()
-                yield self.sim.timeout(self.backoff.delay(attempt))
+                yield self.backoff.delay(attempt)
         eager = size <= self.rt.lci_eager_put_max
         hs_payload = {
             "kind": "put_hs",
@@ -202,7 +202,7 @@ class LciBackend(CommEngine):
                 break
             attempt += 1
             self._c_send_retry.inc()
-            yield self.sim.timeout(self.backoff.delay(attempt))
+            yield self.backoff.delay(attempt)
         if eager:
             # No separate data communication; local completion is immediate.
             if l_cb is not None:
@@ -222,7 +222,7 @@ class LciBackend(CommEngine):
                     break
                 attempt += 1
                 self._c_send_retry.inc()
-                yield self.sim.timeout(self.backoff.delay(attempt))
+                yield self.backoff.delay(attempt)
 
     def progress(self) -> Generator[Any, Any, int]:
         """Comm-thread side: drain the completion FIFOs with the fairness
@@ -235,7 +235,7 @@ class LciBackend(CommEngine):
                 ok, handle = self.am_fifo.try_pop()
                 if not ok:
                     break
-                yield self.sim.timeout(cq_pop + self.rt.callback_exec)
+                yield cq_pop + self.rt.callback_exec
                 tag, data, size, src, seq = handle
                 yield from self._run_am_callback(tag, data, size, src, seq)
                 n += 1
@@ -244,7 +244,7 @@ class LciBackend(CommEngine):
                 ok, item = self.data_fifo.try_pop()
                 if not ok:
                     break
-                yield self.sim.timeout(cq_pop + self.rt.callback_exec)
+                yield cq_pop + self.rt.callback_exec
                 kind = item[0]
                 if kind == "r_data":
                     yield from self._deliver_put(item[1], item[2], item[3], item[4])
@@ -284,6 +284,19 @@ class LciBackend(CommEngine):
         self.am_fifo._waiters.append(evt)
         self.data_fifo._waiters.append(evt)
         return evt
+
+    def park(self, proc: Process) -> bool:
+        """Park on both FIFOs; ``False`` when either already has handles.
+
+        A push to either FIFO wakes the process (``wake`` is idempotent, so
+        double registration is safe), and :meth:`NotifyQueue.park`'s dedup
+        keeps each waiter list at one slot per parked thread.
+        """
+        if len(self.am_fifo) or len(self.data_fifo):
+            return False
+        self.am_fifo.park(proc)
+        self.data_fifo.park(proc)
+        return True
 
     # -- progress-thread side (lightweight handlers) -------------------------
 

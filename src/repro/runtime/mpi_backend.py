@@ -34,7 +34,7 @@ from repro.runtime.comm_engine import (
     TAG_PUT_COMPLETE,
     next_data_tag,
 )
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Process, Simulator
 
 __all__ = ["MpiBackend"]
 
@@ -222,7 +222,7 @@ class MpiBackend(CommEngine):
                     t for t in self._transfers if id(t) not in finished_transfers
                 ]
             for entry in completed:
-                yield self.sim.timeout(self.rt.callback_exec)
+                yield self.rt.callback_exec
                 if isinstance(entry, _AmSlot):
                     preq = entry.preq
                     msg = preq.payload["am"]
@@ -241,6 +241,10 @@ class MpiBackend(CommEngine):
     def activity_event(self) -> Event:
         """Engine work is signalled by the MPI library's activity."""
         return self.rank.activity_event()
+
+    def park(self, proc: Process) -> bool:
+        """Engine wake-ups are the MPI library's deliveries/completions."""
+        return self.rank.park(proc)
 
     # -- internals -----------------------------------------------------------
 

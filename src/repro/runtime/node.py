@@ -26,7 +26,7 @@ from repro.errors import RuntimeBackendError
 from repro.runtime.comm_engine import TAG_ACTIVATE, TAG_GETDATA, TAG_PUT_COMPLETE
 from repro.runtime.scheduler import make_scheduler
 from repro.runtime.taskpool import TaskGraph
-from repro.sim.core import Interrupt
+from repro.sim.core import Interrupt, PARK
 from repro.sim.primitives import NotifyQueue, PriorityStore
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -142,20 +142,28 @@ class NodeRuntime:
         # §7 future work: "multiple communication or progress threads to
         # further reduce communication latency in highly-loaded scenarios".
         # Only the first comm thread runs the one-time engine start.
+        # Comm/progress threads idle via ``yield PARK`` (no per-wait event
+        # allocation); each generator learns its own Process through a
+        # one-slot holder filled right after spawning, and the run-wide
+        # stop event wakes parked threads so they can observe the stop flag.
         for ci in range(getattr(self.ctx, "num_comm_threads", 1)):
-            self._threads.append(
-                self.sim.process(
-                    self._comm_thread(run_start=ci == 0),
-                    name=f"n{self.rank}comm{ci}",
-                )
+            holder: list = []
+            proc = self.sim.process(
+                self._comm_thread(holder, run_start=ci == 0),
+                name=f"n{self.rank}comm{ci}",
             )
+            holder.append(proc)
+            self.ctx.stop_event.add_callback(lambda _evt, p=proc: p.wake())
+            self._threads.append(proc)
         if self.ctx.has_progress_thread:
             for pi in range(getattr(self.ctx, "num_progress_threads", 1)):
-                self._threads.append(
-                    self.sim.process(
-                        self._progress_thread(), name=f"n{self.rank}prog{pi}"
-                    )
+                holder = []
+                proc = self.sim.process(
+                    self._progress_thread(holder), name=f"n{self.rank}prog{pi}"
                 )
+                holder.append(proc)
+                self.ctx.stop_event.add_callback(lambda _evt, p=proc: p.wake())
+                self._threads.append(proc)
 
     def stop_threads(self) -> None:
         """Interrupt every thread (end of run)."""
@@ -175,16 +183,14 @@ class NodeRuntime:
             while True:
                 tid: int = yield from self.sched.pop(wid)
                 start = self.sim.now
-                yield self.sim.timeout(rt.sched_op + rt.task_spawn)
+                yield rt.sched_op + rt.task_spawn
                 duration = durations[tid]
                 if duration > 0:
                     if faults.enabled:
                         # Straggler injection stretches this node's compute.
-                        yield self.sim.timeout(
-                            duration * faults.compute_scale(self.rank)
-                        )
+                        yield duration * faults.compute_scale(self.rank)
                     else:
-                        yield self.sim.timeout(duration)
+                        yield duration
                 self.busy_time += self.sim.now - start
                 if obs.enabled:
                     obs.emit(
@@ -204,7 +210,7 @@ class NodeRuntime:
         # views are two-slot proxies, so this stays allocation-cheap.
         self.ctx.on_task_done(self.graph.tasks[tid])
         for fid in self.graph.outputs_of(tid):
-            yield self.sim.timeout(self.rt.sched_op)
+            yield self.rt.sched_op
             yield from self._release_flow(fid, initial=True, origin=wid)
 
     def _release_flow(
@@ -277,7 +283,7 @@ class NodeRuntime:
         if self.ctx.multithreaded_activate:
             # Workers send their own ACTIVATEs (§6.4.3): no aggregation,
             # possible library contention, but no comm-thread queueing delay.
-            yield self.sim.timeout(self.rt.activate_pack_per_flow)
+            yield self.rt.activate_pack_per_flow
             size = 64 + self.rt.activate_bytes_per_flow
             yield from self.engine.send_am(TAG_ACTIVATE, dst, [ad], size)
             self.ctx.stats_activates += 1
@@ -324,7 +330,7 @@ class NodeRuntime:
     # communication thread (§4.3)
     # ------------------------------------------------------------------
 
-    def _comm_thread(self, run_start: bool = True) -> Generator:
+    def _comm_thread(self, me: list, run_start: bool = True) -> Generator:
         engine = self.engine
         rt = self.rt
         max_batch = max(
@@ -346,9 +352,7 @@ class NodeRuntime:
                 for dst, ads in by_dst.items():
                     for i in range(0, len(ads), max_batch):
                         batch = ads[i : i + max_batch]
-                        yield self.sim.timeout(
-                            rt.activate_pack_per_flow * len(batch)
-                        )
+                        yield rt.activate_pack_per_flow * len(batch)
                         size = 64 + rt.activate_bytes_per_flow * len(batch)
                         yield from engine.send_am(TAG_ACTIVATE, dst, batch, size)
                         self.ctx.stats_activates += 1
@@ -372,28 +376,31 @@ class NodeRuntime:
                     worked += 1
                 # (4) Deferred puts are promoted inside engine.progress().
                 if worked == 0:
-                    yield self.sim.any_of(
-                        [
-                            self.cmd_q.event(),
-                            engine.activity_event(),
-                            self.ctx.stop_event,
-                        ]
-                    )
+                    if self.ctx.stopped:
+                        return
+                    # Idle: park until a command arrives, the engine has
+                    # work, or the stop event wakes us.  Both park()
+                    # registrations are kept (deduplicated) across cycles;
+                    # spurious wakes just re-run the drain loop above.
+                    proc = me[0]
+                    if self.cmd_q.park(proc) and engine.park(proc):
+                        yield PARK
                     if self.ctx.stopped:
                         return
         except Interrupt:
             return
 
-    def _progress_thread(self) -> Generator:
+    def _progress_thread(self, me: list) -> Generator:
         """LCI progress thread (§5.3.1): drives LCI_progress exclusively."""
         device = self.engine.device
         try:
             while True:
                 n = yield from device.progress()
                 if n == 0:
-                    yield self.sim.any_of(
-                        [device.activity_event(), self.ctx.stop_event]
-                    )
+                    if self.ctx.stopped:
+                        return
+                    if device.park(me[0]):
+                        yield PARK
                     if self.ctx.stopped:
                         return
         except Interrupt:
@@ -407,7 +414,7 @@ class NodeRuntime:
         """Unpack aggregated activations, walk local descendants, enqueue
         GET DATA requests (the "long callback" of §4.3)."""
         for ad in msg:
-            yield self.sim.timeout(self.rt.activate_unpack_per_flow)
+            yield self.rt.activate_unpack_per_flow
             fid = ad["flow"]
             if self.ctx.obs.enabled:
                 self.ctx.obs.emit("activate_cb", self.rank, key=(fid, self.rank))
@@ -423,7 +430,7 @@ class NodeRuntime:
 
     def _getdata_cb(self, engine, tag, msg, size, src, cb_data) -> Generator:
         """Serve a GET DATA: put the flow's data back to the requester."""
-        yield self.sim.timeout(self.rt.getdata_handle)
+        yield self.rt.getdata_handle
         fid = msg["flow"]
         if self.ctx.obs.enabled:
             self.ctx.obs.emit("getdata_cb", self.rank, key=(fid, src))
@@ -459,7 +466,7 @@ class NodeRuntime:
 
     def _put_complete_cb(self, engine, tag, msg, size, src, cb_data) -> Generator:
         """Target-side put completion: data arrived for a flow."""
-        yield self.sim.timeout(self.rt.callback_exec)
+        yield self.rt.callback_exec
         fid = msg["r_cb_data"]["flow"]
         state = self.flow_states.get(fid)
         if state is None:

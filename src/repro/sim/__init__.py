@@ -7,7 +7,16 @@ and are resumed when those complete.  Tie-breaking is by schedule order, so
 every run is bit-for-bit reproducible.
 """
 
-from repro.sim.core import Simulator, Event, Timeout, Process, Interrupt, AllOf, AnyOf
+from repro.sim.core import (
+    Simulator,
+    Event,
+    Timeout,
+    Process,
+    Interrupt,
+    AllOf,
+    AnyOf,
+    PARK,
+)
 from repro.sim.primitives import (
     Store,
     PriorityStore,
@@ -28,6 +37,7 @@ __all__ = [
     "Interrupt",
     "AllOf",
     "AnyOf",
+    "PARK",
     "Store",
     "PriorityStore",
     "Resource",

@@ -1,68 +1,42 @@
-"""The discrete-event simulation core (epoch-batched kernel).
+"""The *legacy* discrete-event kernel, frozen for A/B comparison.
+
+This module is a verbatim snapshot of the pre-epoch tuple-heap kernel
+(:mod:`repro.sim.core` before the epoch-batched rewrite), kept so
+``REPRO_SIM_CORE=legacy`` can select it at import time and
+``tools/bench_ab.py`` can prove the batched core is bit-identical and
+faster on the same interpreter.  The only functional additions over the
+historical kernel are (a) :meth:`Process._step` accepts the new
+``yield <float>`` sleep shorthand by wrapping it into a :class:`Timeout`
+at the exact same ``seq`` ordinal, and (b) ``yield PARK`` /
+:meth:`Process.wake` are supported with one ``call_soon`` entry per wake
+(again the same ``seq`` accounting as the batched kernel), so sources
+converted to the shorthands run identically on both cores.  Do not
+extend this module otherwise.
 
 Design notes
 ------------
-The kernel processes events in **epochs** — the set of all entries sharing
-one timestamp — instead of merging a heap against a ready queue one entry
-at a time:
+The kernel is a classic event-heap design tuned for the millions of events a
+single HiCMA run generates:
 
-- every schedulable unit is a flat *kind-coded* entry.  Heap entries are
-  ``(time, seq, kind, a, b, c)`` tuples; current-time entries live in a
-  plain list of ``(seq, kind, a, b, c)`` (the *epoch batch*).  ``seq`` is a
-  monotonically increasing counter so simultaneous entries fire in schedule
-  order and runs are deterministic.  ``kind`` selects a typed fast path:
-
-  ======== ======================= =========================================
-  kind     payload                 dispatch
-  ======== ======================= =========================================
-  K_EVT    ``a`` = event           ``a._dispatch()`` — generic event fire
-  K_CALL   ``a`` = fn, ``b`` =     ``a(*b)`` — plain callback
-           args
-  K_RESUME ``a`` = process,        resume the generator directly with ``c``
-           ``b`` = wake token,     (skipping Event/Timeout allocation and
-           ``c`` = value           callback dispatch entirely)
-  ======== ======================= =========================================
-
-- when the batch empties, time advances to the next heap timestamp and the
-  *whole epoch* at that time is drained in one go.  Two invariants make
-  this bit-identical to the classic one-at-a-time merge: (1) a heap push
-  always carries a strictly future timestamp (zero/underflow delays are
-  routed to the batch), so no heap entry at the current time can appear
-  *during* an epoch; and (2) ``seq`` is global, so every pre-existing
-  heap entry at time ``T`` precedes every entry appended while the epoch
-  runs.  Draining the heap epoch first and then walking the batch
-  positionally therefore reproduces the exact ``(time, seq)`` total order;
-
-- processes may ``yield <float|int>`` as a sleep shorthand — the kernel
-  schedules a K_RESUME entry that re-enters the generator directly.  This
-  is the dominant event kind in a run (poll ticks, task durations, per-item
-  progress costs) and costs one tuple instead of a Timeout object, its
-  callback list, and two dispatch indirections.  ``yield sim.timeout(d)``
-  remains fully supported and bit-identical (the shorthand allocates the
-  same ``seq`` at the same point);
-
+- the heap holds ``(time, seq, event, fn, args)`` tuples — ``seq`` is a
+  monotonically increasing counter so simultaneous events fire in schedule
+  order and runs are deterministic;
+- entries scheduled *at the current time* (event-trigger dispatches,
+  :meth:`Simulator.call_soon`, zero-delay timeouts) bypass the heap through
+  a FIFO ready queue.  Because simulated time never moves backwards, a
+  current-time entry can only be ordered against same-time heap entries,
+  and the shared ``seq`` counter decides that race exactly as the heap
+  would — so the fast path is O(1) instead of O(log n) per entry while
+  preserving bit-identical execution order (the determinism checker runs
+  on traces to enforce this);
 - :class:`Event` is a one-shot completion: callbacks attached before it
   triggers run when it fires, in attachment order;
-
 - :class:`Process` wraps a generator.  ``yield`` transfers control back to
-  the simulator; the yielded object must be an :class:`Event` (or subclass),
-  a number, or :data:`PARK`.  The value sent back into the generator is the
-  event's value (the delay, for sleeps);
-
-- ``yield PARK`` suspends a process with *no* scheduled wake-up; another
-  actor calls :meth:`Process.wake` (idempotent until the process runs)
-  to schedule a K_RESUME at the current time.  Pollers (comm/progress
-  threads) idle this way instead of constructing an ``AnyOf`` over
-  per-wait notification events — the second-largest allocation source in
-  paper-scale runs after Timeouts;
-
+  the simulator; the yielded object must be an :class:`Event` (or subclass —
+  :class:`Timeout`, another process, a store get, ...).  The value sent back
+  into the generator is the event's value;
 - a process is itself an :class:`Event` that triggers when the generator
   returns, so processes can wait on each other.
-
-Setting ``REPRO_SIM_CORE=legacy`` in the environment selects the frozen
-pre-epoch kernel (:mod:`repro.sim._legacy_core`) at import time — the A/B
-baseline used by ``tools/bench_ab.py`` to prove the batched core produces
-bit-identical traces.
 
 Only behaviours needed by the repro stack are implemented; there is no
 real-time synchronisation and no thread safety (the simulation is strictly
@@ -73,12 +47,12 @@ from __future__ import annotations
 
 import heapq
 import math
-import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.obs.bus import NULL_BUS
-from repro.sim._kinds import K_CALL, K_EVT, K_RESUME, PARK
+from repro.sim._kinds import PARK
 
 __all__ = [
     "Simulator",
@@ -89,10 +63,6 @@ __all__ = [
     "Interrupt",
     "AllOf",
     "AnyOf",
-    "K_EVT",
-    "K_CALL",
-    "K_RESUME",
-    "PARK",
 ]
 
 _PENDING = object()
@@ -118,8 +88,7 @@ class SchedulePolicy:
         """Return the index (into ``ready``) of the entry to fire next.
 
         ``ready`` is the runnable set at the current time, in FIFO order,
-        as kind-coded ``(seq, kind, a, b, c)`` tuples (see the module
-        docstring for the payload layout per kind); treat it as read-only.
+        as ``(seq, event, fn, args)`` tuples; treat it as read-only.
         Called only when there are at least two candidates.
         """
         return 0
@@ -158,9 +127,7 @@ class Event:
         if self._value is not _PENDING:
             raise SimulationError("event triggered twice")
         self._value = value
-        sim = self.sim
-        sim._seq += 1
-        sim._ready.append((sim._seq, K_EVT, self, None, None))
+        self.sim._queue_trigger(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -171,9 +138,7 @@ class Event:
             raise SimulationError("Event.fail requires an exception instance")
         self._ok = False
         self._value = exc
-        sim = self.sim
-        sim._seq += 1
-        sim._ready.append((sim._seq, K_EVT, self, None, None))
+        self.sim._queue_trigger(self)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -200,22 +165,18 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay!r}")
-        # Field setup and scheduling are inlined (no super().__init__ call):
-        # explicit Timeouts are still common enough that the call overhead
-        # is measurable.  The ``when > now`` test (rather than ``delay ==
-        # 0``) routes underflowed delays (now + delay == now in float) to
-        # the batch, preserving the epoch invariant that the heap never
-        # gains entries at the current time.
+        # Field setup and scheduling are inlined (no super().__init__ /
+        # _schedule_at calls): timers are the single most-constructed object
+        # in a run, and the call overhead is measurable.
         self.sim = sim
         self.callbacks = []
         self._value = value if value is not None else delay
         self._ok = True
         sim._seq += 1
-        when = sim.now + delay
-        if when > sim.now:
-            heapq.heappush(sim._heap, (when, sim._seq, K_EVT, self, None, None))
+        if delay == 0:
+            sim._ready.append((sim._seq, self, None, None))
         else:
-            sim._ready.append((sim._seq, K_EVT, self, None, None))
+            heapq.heappush(sim._heap, (sim.now + delay, sim._seq, self, None, None))
 
     # Timeouts are pre-triggered at construction; suppress double-trigger.
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
@@ -234,23 +195,18 @@ class Interrupt(Exception):
 class Process(Event):
     """A running generator coroutine; also an event for its termination."""
 
-    __slots__ = ("generator", "_gsend", "_waiting_on", "_wtok", "name")
+    __slots__ = ("generator", "_waiting_on", "_wtok", "name")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise SimulationError(f"Process requires a generator, got {generator!r}")
         self.generator = generator
-        #: ``generator.send`` pre-bound once — the run loop resumes typed
-        #: sleeps through this, avoiding a bound-method allocation per event.
-        self._gsend = generator.send
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        #: Wake token for typed sleeps: bumped every time the process runs,
-        #: so a pending K_RESUME entry whose captured token no longer
-        #: matches (the process was interrupted, or finished) is stale and
-        #: fires as a no-op — the typed analogue of the legacy stale-Timeout
-        #: identity check in :meth:`_resume`.
+        #: Wake token: bumped every time the process runs so a pending
+        #: :meth:`wake` callback whose captured token no longer matches is
+        #: stale and fires as a no-op (mirrors the batched kernel).
         self._wtok: int = 0
         if sim.obs.enabled:
             sim.obs.emit("process_start", -1, key=self.name, time=sim.now)
@@ -287,87 +243,69 @@ class Process(Event):
         self._waiting_on = None
         self._step(self.generator.throw, exc)
 
-    def _step(self, advance: Callable[[Any], Any], arg: Any) -> None:
-        # Invalidate any still-pending typed sleep before the generator
-        # runs: whatever it yields next is the only wake-up that counts.
-        self._wtok += 1
-        try:
-            target = advance(arg)
-        except BaseException as exc:
-            self._terminate(exc)
-            return
-        self._suspend(target)
-
-    def _terminate(self, exc: BaseException) -> None:
-        """The generator raised out of a resume: record the termination."""
-        if type(exc) is StopIteration:
-            super().succeed(exc.value)
-            self._emit_end("ok")
-        elif isinstance(exc, Interrupt):
-            # An uncaught interrupt terminates the process "normally" with
-            # the interrupt as its value — callers may inspect it.
-            super().succeed(exc)
-            self._emit_end("interrupted")
-        elif isinstance(exc, StopIteration):  # subclass, pathological
-            super().succeed(exc.value)
-            self._emit_end("ok")
-        else:
-            super().fail(exc)
-            self._emit_end("error")
-
-    def _suspend(self, target: Any) -> None:
-        """Park the process on whatever the generator yielded."""
-        tt = type(target)
-        if tt is float or tt is int:
-            # Sleep shorthand: resume after ``target`` seconds with the
-            # delay sent back — bit-identical to ``yield sim.timeout(d)``
-            # (same seq at the same point) but allocation-free.
-            if target < 0:
-                self._step(
-                    self.generator.throw,
-                    SimulationError(f"negative timeout: {target!r}"),
-                )
-                return
-            sim = self.sim
-            sim._seq += 1
-            when = sim.now + target
-            if when > sim.now:
-                heapq.heappush(
-                    sim._heap, (when, sim._seq, K_RESUME, self, self._wtok, target)
-                )
-            else:
-                sim._ready.append((sim._seq, K_RESUME, self, self._wtok, target))
-            return
-        if target is PARK:
-            # ``yield PARK``: suspend with *no* scheduled wake-up.  Some
-            # other actor calls :meth:`wake`; until then the process costs
-            # the kernel nothing (no event, no heap entry, no callbacks).
-            self._waiting_on = PARK
-            return
-        if not isinstance(target, Event):
-            self._step(
-                self.generator.throw,
-                SimulationError(f"process {self.name!r} yielded non-event {target!r}"),
-            )
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
-
     def wake(self, value: Any = None) -> None:
-        """Wake a process parked on ``yield PARK``.
+        """Wake a process parked on ``yield PARK`` (idempotent until it runs).
 
-        Idempotent until the process actually runs: the first call schedules
-        a typed resume at the current time; further calls (and calls while
-        the process is not parked) are no-ops.  ``value`` is sent into the
-        generator.  Spurious wakes are expected — parked pollers re-check
-        their condition and re-park.
+        Scheduled through :meth:`Simulator.call_soon` so the wake costs one
+        entry at one ``seq`` ordinal — exactly what the batched kernel's
+        typed-resume entry costs — keeping the two cores bit-identical.
         """
         if self._waiting_on is not PARK or self._value is not _PENDING:
             return
         self._waiting_on = None
-        sim = self.sim
-        sim._seq += 1
-        sim._ready.append((sim._seq, K_RESUME, self, self._wtok, value))
+        self.sim.call_soon(self._wake_fire, self._wtok, value)
+
+    def _wake_fire(self, tok: int, value: Any) -> None:
+        if self._value is not _PENDING or self._wtok != tok:
+            return
+        self._step(self.generator.send, value)
+
+    def _step(self, advance: Callable[[Any], Any], arg: Any) -> None:
+        self._wtok += 1
+        try:
+            target = advance(arg)
+        except StopIteration as stop:
+            super().succeed(stop.value)
+            self._emit_end("ok")
+            return
+        except Interrupt as exc:
+            # An uncaught interrupt terminates the process "normally" with
+            # the interrupt as its value — callers may inspect it.
+            super().succeed(exc)
+            self._emit_end("interrupted")
+            return
+        except BaseException as exc:
+            super().fail(exc)
+            self._emit_end("error")
+            return
+        if target is PARK:
+            # Batched-kernel park shorthand: suspend with no scheduled
+            # wake-up until someone calls :meth:`wake`.
+            self._waiting_on = PARK
+            return
+        if not isinstance(target, Event):
+            # The batched kernel's sleep shorthand: ``yield <float|int>``
+            # means "resume me after that many seconds".  Wrapping into a
+            # Timeout here allocates the same ``seq`` the shorthand would
+            # (nothing can run between this wrap and the suspension), so
+            # converted sources stay bit-identical across both cores.
+            tt = type(target)
+            if tt is float or tt is int:
+                try:
+                    target = Timeout(self.sim, target)
+                except SimulationError as exc:
+                    self._step(self.generator.throw, exc)
+                    return
+            else:
+                self._step(
+                    self.generator.throw,
+                    SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    ),
+                )
+                return
+        self._waiting_on = target
+        target.add_callback(self._resume)
 
     def _emit_end(self, status: str) -> None:
         obs = self.sim.obs
@@ -425,7 +363,7 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """Owns simulated time, the event heap, and the current epoch batch.
+    """Owns simulated time and the event heap.
 
     ``obs`` is the observability bus the kernel (and anything holding the
     simulator) emits through; it defaults to the free no-op bus.  The event
@@ -448,40 +386,51 @@ class Simulator:
         self._tick_fn: Optional[Callable[[int], None]] = None
         self._tick_every: int = 0
         #: Optional same-timestamp tie-break policy.  ``None`` (the default)
-        #: keeps the epoch-batched fast path; a policy routes :meth:`run`
-        #: through :meth:`_run_policy` instead.
+        #: keeps the original merged heap/ready fast path byte-for-byte; a
+        #: policy routes :meth:`run` through :meth:`_run_policy` instead.
         self.policy = policy
-        #: Heap of future entries ``(time, seq, kind, a, b, c)``.  ``seq``
-        #: is globally unique, so tuple comparison never reaches the
-        #: (possibly incomparable) payload slots.
         self._heap: list = []
-        #: The epoch batch: current-time entries ``(seq, kind, a, b, c)``
-        #: in append (= seq) order.  Every entry here is stamped at ``now``;
-        #: the run loop walks it positionally, so appends made while an
-        #: epoch runs fire in the same pass, in exact seq order.
-        self._ready: list = []
+        #: FIFO of current-time entries ``(seq, event, fn, args)``.  Every
+        #: entry here carries a timestamp equal to ``now``; the run loop
+        #: merges it with the heap by comparing ``seq`` against same-time
+        #: heap heads, so ordering is bit-identical to the all-heap kernel.
+        self._ready: deque = deque()
         self._seq: int = 0
         self._running = False
         self._event_count = 0
 
     # -- scheduling ------------------------------------------------------
 
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        if when <= self.now:
+            # Zero-delay timers land on the O(1) ready queue; ``seq``
+            # ordering against same-time heap entries is preserved by the
+            # run-loop merge.
+            self._ready.append((self._seq, event, None, None))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, event, None, None))
+
+    def _queue_trigger(self, event: Event) -> None:
+        """Queue a triggered event's callback dispatch at the current time."""
+        self._seq += 1
+        self._ready.append((self._seq, event, None, None))
+
     def call_soon(self, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at the current simulated time, after already
         queued work."""
         self._seq += 1
-        self._ready.append((self._seq, K_CALL, fn, args, None))
+        self._ready.append((self._seq, None, fn, args))
 
     def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
         self._seq += 1
-        when = self.now + delay
-        if when > self.now:
-            heapq.heappush(self._heap, (when, self._seq, K_CALL, fn, args, None))
+        if delay == 0:
+            self._ready.append((self._seq, None, fn, args))
         else:
-            self._ready.append((self._seq, K_CALL, fn, args, None))
+            heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
 
     # -- public API ------------------------------------------------------
 
@@ -507,7 +456,7 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total entries processed so far (diagnostic)."""
+        """Total heap entries processed so far (diagnostic)."""
         return self._event_count
 
     def set_tick(self, fn: Optional[Callable[[int], None]], every: int = 16384) -> None:
@@ -537,108 +486,54 @@ class Simulator:
             return self._run_policy(until)
         self._running = True
         heap = self._heap
-        batch = self._ready
+        ready = self._ready
         heappop = heapq.heappop
-        heappush = heapq.heappush
         count = self._event_count
         tick_fn = self._tick_fn
         next_tick = count + self._tick_every if tick_fn is not None else math.inf
-        pos = 0
         try:
             while True:
                 if count >= next_tick:
                     tick_fn(count)
                     next_tick = count + self._tick_every
-                if pos < len(batch):
-                    # Walk the epoch batch positionally — appends made by
-                    # the entries we fire land behind ``pos`` and run in
-                    # this same pass, in seq order.
-                    _seq, kind, a, b, c = batch[pos]
-                    pos += 1
-                    count += 1
-                    if kind == 2:  # K_RESUME — the hottest kind, inlined:
-                        # resume the generator and reschedule its next
-                        # sleep without leaving the loop frame.
-                        if a._wtok == b and a._value is _PENDING:
-                            a._wtok += 1
-                            try:
-                                target = a._gsend(c)
-                            except BaseException as exc:
-                                a._terminate(exc)
-                                continue
-                            tt = type(target)
-                            if (tt is float or tt is int) and target >= 0:
-                                self._seq = seq = self._seq + 1
-                                when = self.now + target
-                                if when > self.now:
-                                    heappush(
-                                        heap, (when, seq, 2, a, a._wtok, target)
-                                    )
-                                else:
-                                    batch.append((seq, 2, a, a._wtok, target))
+                if ready:
+                    # A heap entry can only precede the ready head when it
+                    # is stamped at the current time with a smaller seq
+                    # (time never moves backwards while work is ready).
+                    if heap:
+                        head = heap[0]
+                        if head[0] <= self.now and head[1] < ready[0][0]:
+                            heappop(heap)
+                            count += 1
+                            _w, _s, event, fn, args = head
+                            if event is not None:
+                                event._dispatch()
                             else:
-                                a._suspend(target)
-                        continue
-                    if kind == 0:  # K_EVT
-                        a._dispatch()
-                    else:          # K_CALL
-                        a(*b)
+                                fn(*args)
+                            continue
+                    _seq, event, fn, args = ready.popleft()
+                    count += 1
+                    if event is not None:
+                        event._dispatch()
+                    else:
+                        fn(*args)
                     continue
-                if pos:
-                    del batch[:]
-                    pos = 0
                 if not heap:
                     if until is not None:
                         self.now = until
                     break
-                when = heap[0][0]
+                when, _seq, event, fn, args = heap[0]
                 if until is not None and when > until:
                     self.now = until
                     break
+                heappop(heap)
                 self.now = when
-                # Drain the whole heap epoch at ``when`` directly: every
-                # entry here predates the batch appends its firing can
-                # cause (scheduling at the current time always routes to
-                # the batch, never the heap), so seq order is preserved.
-                while True:
-                    _w, _seq, kind, a, b, c = heappop(heap)
-                    count += 1
-                    if kind == 2:
-                        if a._wtok == b and a._value is _PENDING:
-                            a._wtok += 1
-                            try:
-                                target = a._gsend(c)
-                            except BaseException as exc:
-                                a._terminate(exc)
-                            else:
-                                tt = type(target)
-                                if (tt is float or tt is int) and target >= 0:
-                                    self._seq = seq = self._seq + 1
-                                    twhen = when + target
-                                    if twhen > when:
-                                        heappush(
-                                            heap,
-                                            (twhen, seq, 2, a, a._wtok, target),
-                                        )
-                                    else:
-                                        batch.append((seq, 2, a, a._wtok, target))
-                                else:
-                                    a._suspend(target)
-                    elif kind == 0:
-                        a._dispatch()
-                    else:
-                        a(*b)
-                    if not heap or heap[0][0] != when:
-                        break
-                    if count >= next_tick:
-                        tick_fn(count)
-                        next_tick = count + self._tick_every
+                count += 1
+                if event is not None:
+                    event._dispatch()
+                else:
+                    fn(*args)
         finally:
-            if pos:
-                # Drop the fired prefix so an exception escaping a callback
-                # cannot leave already-dispatched entries behind for a
-                # later run() to re-fire.
-                del batch[:pos]
             self._event_count = count
             self._running = False
         if self.obs.enabled:
@@ -652,13 +547,15 @@ class Simulator:
     def _run_policy(self, until: Optional[float]) -> float:
         """Policy-driven run loop (see :class:`SchedulePolicy`).
 
-        Each time step first drains every heap entry stamped at (or before)
-        the current time into the ready list.  Such entries were all pushed
-        before simulated time reached ``now`` — zero-delay scheduling
-        always lands on the ready list directly — so their ``seq`` values
-        precede every ready entry's and the drained list is the complete
-        runnable set in exact FIFO order.  The policy then picks which
-        candidate fires; index 0 replays the default kernel bit-identically.
+        Instead of merging the heap against the ready deque one entry at a
+        time, each time step first drains every heap entry stamped at (or
+        before) the current time into the ready deque.  Such entries were
+        all pushed before simulated time reached ``now`` — zero-delay
+        scheduling always lands on the ready deque directly — so their
+        ``seq`` values precede every ready entry's and the drained deque
+        is the complete runnable set in exact FIFO order.  The policy then
+        picks which candidate fires; index 0 replays the default kernel
+        bit-identically.
         """
         self._running = True
         policy = self.policy
@@ -674,7 +571,8 @@ class Simulator:
                     tick_fn(count)
                     next_tick = count + self._tick_every
                 while heap and heap[0][0] <= self.now:
-                    ready.append(heappop(heap)[1:])
+                    _w, seq, event, fn, args = heappop(heap)
+                    ready.append((seq, event, fn, args))
                 if not ready:
                     if not heap:
                         if until is not None:
@@ -688,17 +586,19 @@ class Simulator:
                     continue
                 if len(ready) > 1:
                     idx = policy.choose(self, ready)
+                    if idx:
+                        entry = ready[idx]
+                        del ready[idx]
+                    else:
+                        entry = ready.popleft()
                 else:
-                    idx = 0
-                _seq, kind, a, b, c = ready.pop(idx) if idx else ready.pop(0)
+                    entry = ready.popleft()
                 count += 1
-                if kind == 2:
-                    if a._wtok == b and a._value is _PENDING:
-                        a._step(a.generator.send, c)
-                elif kind == 0:
-                    a._dispatch()
+                _seq, event, fn, args = entry
+                if event is not None:
+                    event._dispatch()
                 else:
-                    a(*b)
+                    fn(*args)
         finally:
             self._event_count = count
             self._running = False
@@ -722,26 +622,3 @@ class Simulator:
         if not proc.ok:
             raise proc.value
         return proc.value
-
-
-#: ``REPRO_SIM_CORE=legacy`` swaps in the frozen pre-epoch kernel at import
-#: time — every ``from repro.sim.core import X`` site then resolves to the
-#: legacy implementation, which is how ``tools/bench_ab.py`` A/B-tests the
-#: two cores in separate interpreters on identical upper layers.
-_SELECTED_CORE = os.environ.get("REPRO_SIM_CORE", "batched")
-if _SELECTED_CORE == "legacy":
-    from repro.sim import _legacy_core as _impl
-
-    Simulator = _impl.Simulator            # noqa: F811
-    SchedulePolicy = _impl.SchedulePolicy  # noqa: F811
-    Event = _impl.Event                    # noqa: F811
-    Timeout = _impl.Timeout                # noqa: F811
-    Process = _impl.Process                # noqa: F811
-    Interrupt = _impl.Interrupt            # noqa: F811
-    AllOf = _impl.AllOf                    # noqa: F811
-    AnyOf = _impl.AnyOf                    # noqa: F811
-    _PENDING = _impl._PENDING
-elif _SELECTED_CORE != "batched":
-    raise SimulationError(
-        f"REPRO_SIM_CORE must be 'batched' or 'legacy', got {_SELECTED_CORE!r}"
-    )

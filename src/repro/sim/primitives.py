@@ -11,7 +11,7 @@ from heapq import heappush, heappop
 from typing import Any, Optional
 
 from repro.errors import SimulationError
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Process, Simulator
 
 __all__ = ["Store", "PriorityStore", "Resource", "Semaphore", "Latch", "NotifyQueue"]
 
@@ -265,17 +265,23 @@ class NotifyQueue:
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._items: deque = deque()
-        self._waiters: list[Event] = []
+        #: Mixed waiter list: one-shot :class:`Event` s (from :meth:`event`)
+        #: and parked :class:`Process` es (from :meth:`park`).
+        self._waiters: list = []
 
     def push(self, item: Any) -> None:
         self._items.append(item)
         if self._waiters:
             waiters, self._waiters = self._waiters, []
-            for evt in waiters:
-                # A waiter may be registered with several queues (e.g. an
-                # engine watching both its FIFOs); only fire it once.
-                if not evt.triggered:
-                    evt.succeed()
+            for w in waiters:
+                if isinstance(w, Process):
+                    # A parked Process — wake() is idempotent, so a process
+                    # registered with several queues wakes exactly once.
+                    w.wake()
+                elif not w.triggered:
+                    # A waiter may be registered with several queues (e.g. an
+                    # engine watching both its FIFOs); only fire it once.
+                    w.succeed()
 
     def try_pop(self) -> tuple[bool, Any]:
         """Non-blocking pop; returns (ok, item)."""
@@ -291,6 +297,20 @@ class NotifyQueue:
         else:
             self._waiters.append(evt)
         return evt
+
+    def park(self, proc) -> bool:
+        """Register a parked process to be woken on the next :meth:`push`.
+
+        Returns ``False`` (and registers nothing) when items are already
+        queued — the caller should drain instead of parking.  Registration
+        is deduplicated, so a poller that parks on every idle cycle keeps
+        exactly one slot in the waiter list.
+        """
+        if self._items:
+            return False
+        if proc not in self._waiters:
+            self._waiters.append(proc)
+        return True
 
     def __len__(self) -> int:
         return len(self._items)

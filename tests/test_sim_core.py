@@ -153,10 +153,36 @@ def test_process_exception_propagates_to_waiter():
 
 
 def test_yielding_non_event_raises():
+    # Numbers are the sleep shorthand; anything else non-Event is an error.
     sim = Simulator()
 
     def bad():
-        yield 42
+        yield "not an event"
+
+    proc = sim.process(bad())
+    sim.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+def test_yielding_number_sleeps():
+    sim = Simulator()
+
+    def proc():
+        sent = yield 1.5
+        assert sent == 1.5
+        sent = yield 2  # ints work too (bools do not)
+        assert sent == 2
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(3.5)
+
+
+def test_yielding_negative_number_raises():
+    sim = Simulator()
+
+    def bad():
+        yield -0.5
 
     proc = sim.process(bad())
     sim.run()

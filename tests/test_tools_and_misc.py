@@ -99,7 +99,8 @@ class TestRepoCheckers:
 
     def test_fault_determinism(self):
         # One backend keeps this under a few seconds; the checker still runs
-        # the replay and the disabled-plan==no-plan invariants.
+        # the replay, the disabled-plan==no-plan invariant, and the bundled
+        # explore-schedule replay.
         proc = subprocess.run(
             [sys.executable, str(ROOT / "tools" / "check_fault_determinism.py"),
              "--backend", "lci"],
@@ -108,6 +109,18 @@ class TestRepoCheckers:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "bit-identical" in proc.stdout
+        assert "ok schedule replay" in proc.stdout
+
+    def test_bench_ab_smoke(self):
+        # Legacy-vs-batched kernel A/B: the smoke sizes still assert full
+        # trace bit-identity across both backends.
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "bench_ab.py"), "--smoke"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bench_ab OK: cores bit-identical" in proc.stdout
 
     def test_paper_scale_budget(self, tmp_path):
         # Build-only mode (~5 s): asserts the NT=150 graph build/memory

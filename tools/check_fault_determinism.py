@@ -11,9 +11,17 @@ consumed randomness outside the named RNG streams — exit 1.
 Also asserts the NULL-engine invariant: a run with ``faults=None`` and a run
 with a disabled plan produce identical fingerprints.
 
+Finally replays the bundled explore schedule
+(``tests/data/schedule_pingpong.json``) twice through the schedule
+explorer's :class:`ReplayPolicy`: the recorded decision sequence must
+drive the epoch-batched kernel to a violation-free run with a stable
+digest — the cross-subsystem proof that ``SchedulePolicy`` still sees
+the same runnable sets the schedule was recorded against.
+
 Run as::
 
-    python tools/check_fault_determinism.py [--backend mpi|lci|both] [--plan NAME]
+    python tools/check_fault_determinism.py [--backend mpi|lci|both]
+        [--plan NAME] [--schedule PATH]
 """
 
 from __future__ import annotations
@@ -60,10 +68,33 @@ def diff(a: dict, b: dict) -> list[str]:
     return problems
 
 
+def check_schedule_replay(path: Path) -> list[str]:
+    """Replay a recorded explore schedule twice; return problems (if any)."""
+    from repro.explore.explorer import replay_schedule
+
+    problems = []
+    _, first = replay_schedule(path)
+    _, second = replay_schedule(path)
+    if first.get("violations"):
+        problems.append(f"  replay violated invariants: {first['violations']!r}")
+    if first.get("digest") is None:
+        problems.append("  replay produced no digest")
+    if first != second:
+        for key in first:
+            if first[key] != second.get(key):
+                problems.append(
+                    f"  {key}: {first[key]!r} != {second.get(key)!r}"
+                )
+    return problems
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--backend", choices=["mpi", "lci", "both"], default="both")
     ap.add_argument("--plan", default="chaos")
+    ap.add_argument("--schedule", default=str(
+        Path(__file__).resolve().parent.parent
+        / "tests" / "data" / "schedule_pingpong.json"))
     args = ap.parse_args(argv)
     backends = ["mpi", "lci"] if args.backend == "both" else [args.backend]
     failed = False
@@ -96,6 +127,17 @@ def main(argv=None) -> int:
             print("\n".join(problems))
         else:
             print(f"ok [{backend}]: disabled plan is bit-identical to no plan")
+
+    problems = check_schedule_replay(Path(args.schedule))
+    if problems:
+        failed = True
+        print(f"FAIL schedule replay ({args.schedule}):")
+        print("\n".join(problems))
+    else:
+        print(
+            f"ok schedule replay: {Path(args.schedule).name} drives a "
+            "violation-free, digest-stable run"
+        )
     return 1 if failed else 0
 
 

@@ -87,6 +87,8 @@ def full_run(nodes: int, tile: int) -> dict:
         "mean_flow_latency": result.flow_latency.get("mean", 0.0),
         "activates_sent": result.activates_sent,
         "wire_bytes": result.wire_bytes,
+        "events_total": result.events_processed,
+        "events_per_second": round(result.events_processed / wall, 1),
         "peak_rss_gib": round(peak_rss_bytes() / 2**30, 3),
         "progress_beats": reporter.beats,
     }
@@ -102,6 +104,8 @@ def main(argv=None) -> int:
                     help="max seconds for build+freeze+validate")
     ap.add_argument("--rss-budget", type=float, default=4.0,
                     help="max peak RSS in GiB")
+    ap.add_argument("--events-floor", type=float, default=50_000.0,
+                    help="min kernel events/second for the --full run")
     ap.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_scale.json"))
     args = ap.parse_args(argv)
@@ -134,12 +138,18 @@ def main(argv=None) -> int:
                 f"full-run peak RSS {run['peak_rss_gib']:.2f} GiB "
                 f"(> {args.rss_budget:.1f} GiB budget)"
             )
-        events = run["progress_beats"]
+        if run["events_per_second"] < args.events_floor:
+            problems.append(
+                f"kernel throughput {run['events_per_second']:,.0f} events/s "
+                f"(< {args.events_floor:,.0f} floor)"
+            )
         print(
             f"paper-scale run: {run['tasks_executed']:,} tasks, "
             f"makespan {run['makespan_seconds']:.1f}s simulated in "
-            f"{run['run_wall_seconds']:.0f}s wall, peak RSS "
-            f"{run['peak_rss_gib']:.2f} GiB, {events} progress beats"
+            f"{run['run_wall_seconds']:.0f}s wall "
+            f"({run['events_total']:,} events, "
+            f"{run['events_per_second']:,.0f} ev/s), peak RSS "
+            f"{run['peak_rss_gib']:.2f} GiB, {run['progress_beats']} progress beats"
         )
 
     with open(args.out, "w") as fp:
