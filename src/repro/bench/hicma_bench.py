@@ -114,6 +114,7 @@ def run_hicma_benchmark(
     schedule_policy=None,
     ctx_observer=None,
     progress=None,
+    guards=None,
 ) -> HicmaResult:
     """Execute one TLR Cholesky on the simulated runtime.
 
@@ -122,6 +123,10 @@ def run_hicma_benchmark(
     ``progress`` (``True`` or a :class:`~repro.obs.progress.
     ProgressReporter`) turns on run-progress heartbeats — essential at
     ``REPRO_PAPER_SCALE=1``, where a single point is ~575k tasks.
+    ``guards`` (:class:`~repro.supervise.guards.RunGuards`) enforces hard
+    run budgets; on violation the structured abort carries a diagnostic
+    snapshot and partial stats (see :meth:`~repro.runtime.context.
+    ParsecContext.run`).
     """
     if platform is None:
         if paper_scale_enabled():
@@ -164,7 +169,7 @@ def run_hicma_benchmark(
     )
     if ctx_observer is not None:
         ctx_observer(ctx)
-    stats = ctx.run(graph, until=36_000.0, progress=progress)
+    stats = ctx.run(graph, until=36_000.0, progress=progress, guards=guards)
     return HicmaResult(
         config=cfg,
         backend=backend,

@@ -120,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print run-progress heartbeats to stderr (tasks "
                     "done, events/s, RSS, ETA) — recommended with "
                     "REPRO_PAPER_SCALE=1")
+    hc.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="abort the run after this much wall-clock time "
+                    "with a diagnostic snapshot (run guard)")
+    hc.add_argument("--max-events", type=int, default=None, metavar="N",
+                    help="abort the run after N kernel events with a "
+                    "diagnostic snapshot (run guard)")
 
     np_ = sub.add_parser("netpipe", help="raw fabric ping-pong baseline")
     np_.add_argument("sizes", nargs="*", type=_size,
@@ -158,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--progress", action="store_true",
                     help="print one line per sweep point to stderr as "
                     "points execute")
+    sw.add_argument("--journal", metavar="PATH", default=None,
+                    help="write-ahead journal for crash-safe resumption; "
+                    "SIGINT/SIGTERM flush it and print a resume hint")
+    sw.add_argument("--resume", action="store_true",
+                    help="replay the --journal (and cache) first, skipping "
+                    "points already completed by an interrupted run")
+    sw.add_argument("--out", metavar="PATH", default=None,
+                    help="atomically write the sweep outcome (records, keys, "
+                    "counts) as canonical JSON")
+    sw.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="terminate and retry a worker silent for this long "
+                    "on one point (parallel sweeps)")
 
     va = sub.add_parser("validate", help="simulator self-checks vs closed forms")
     va.add_argument("--size", type=_size, default=_size("1M"))
@@ -278,8 +297,35 @@ def cmd_overlap(args) -> int:
     return 0
 
 
+def _report_abort(exc) -> int:
+    """Print a structured guard-abort report; the ``hicma`` failure path.
+
+    The run died on a budget (:class:`~repro.errors.RunBudgetExceeded`) or
+    live-lock (:class:`~repro.errors.NoProgressError`); report *where* it
+    stood — salvaged partial stats plus the diagnostic snapshot — instead
+    of a bare traceback.
+    """
+    print(f"run aborted: {exc}", file=sys.stderr)
+    snap = exc.snapshot
+    if snap:
+        done = snap.get("tasks_done")
+        total = snap.get("tasks_total")
+        print(f"  progress : {done}/{total} tasks, "
+              f"sim t={snap.get('sim_now', 0.0):.6f}s, "
+              f"{snap.get('events_processed', 0):,} events",
+              file=sys.stderr)
+        if snap.get("quiescence"):
+            print(f"  pending  : {snap['quiescence']}", file=sys.stderr)
+    if exc.partial is not None:
+        print("  partial stats:", file=sys.stderr)
+        for line in exc.partial.summary().splitlines():
+            print(f"    {line}", file=sys.stderr)
+    return 3
+
+
 def cmd_hicma(args) -> int:
     """Run one simulated TLR Cholesky configuration."""
+    from repro.errors import SupervisionError
     from repro.bench.hicma_bench import (
         HicmaConfig,
         default_matrix_size,
@@ -309,6 +355,11 @@ def cmd_hicma(args) -> int:
         from repro.obs.progress import ProgressReporter
 
         progress = ProgressReporter(stream=sys.stderr)
+    guards = None
+    if args.deadline is not None or args.max_events is not None:
+        from repro.supervise import RunGuards
+
+        guards = RunGuards(deadline=args.deadline, max_events=args.max_events)
     if args.native_put:
         platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=8)
         graph = build_tlr_cholesky_graph(
@@ -320,12 +371,20 @@ def cmd_hicma(args) -> int:
             platform, backend="lci", native_put=True,
             multithreaded_activate=args.mt_activate, seed=args.seed,
         )
-        stats = ctx.run(graph, until=36_000.0, progress=progress)
+        try:
+            stats = ctx.run(graph, until=36_000.0, progress=progress,
+                            guards=guards)
+        except SupervisionError as exc:
+            return _report_abort(exc)
         print(f"hicma[lci, native put] N={cfg.matrix_size} tile={cfg.tile_size} "
               f"nodes={cfg.num_nodes}: TTS={stats.makespan:.3f}s "
               f"e2e={stats.mean_flow_latency * 1e3:.2f}ms")
         return 0
-    result = run_hicma_benchmark(args.backend, cfg, progress=progress)
+    try:
+        result = run_hicma_benchmark(args.backend, cfg, progress=progress,
+                                     guards=guards)
+    except SupervisionError as exc:
+        return _report_abort(exc)
     print(result.summary())
     print(f"  tasks            : {result.tasks}")
     print(f"  wire traffic     : {result.wire_bytes / 1e6:.1f} MB")
@@ -493,6 +552,7 @@ def cmd_sweep(args) -> int:
     """Run a named experiment grid through the sweep engine."""
     from repro.analysis.sweep_tables import render_outcome
     from repro.config import SweepConfig
+    from repro.errors import SweepInterrupted
     from repro.sweep import ResultCache, named_grid, run_sweep
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -516,9 +576,19 @@ def cmd_sweep(args) -> int:
         jobs=args.jobs,
         cache_enabled=not args.no_cache,
         retries=args.retries,
+        heartbeat_timeout=args.heartbeat_timeout,
     )
     obs = _progress_bus(args, ("sweep_start", "sweep_point", "sweep_end"))
-    outcome = run_sweep(spec, config, cache=cache, obs=obs)
+    try:
+        outcome = run_sweep(spec, config, cache=cache, obs=obs,
+                            journal=args.journal, resume=args.resume)
+    except SweepInterrupted as exc:
+        # run_sweep already flushed the journal and printed the resume hint.
+        print(f"sweep interrupted: {exc}", file=sys.stderr)
+        return 130
+    if args.out:
+        outcome.save(args.out)
+        print(f"wrote {args.out}")
     print(render_outcome(outcome))
     print(outcome.summary())
     return 0 if outcome.failed == 0 else 1

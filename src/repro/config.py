@@ -415,6 +415,10 @@ class SweepConfig(DictCodec):
     #: Abort the whole sweep on the first point that exhausts its retries
     #: (``False`` records the failure and continues).
     fail_fast: bool = True
+    #: Wall-clock seconds a supervised worker may stay silent (no
+    #: heartbeat) on one point before it is presumed hung, terminated,
+    #: and its point retried (parallel path only).
+    heartbeat_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         _require(
@@ -424,6 +428,12 @@ class SweepConfig(DictCodec):
         _require(
             isinstance(self.retries, int) and self.retries >= 0,
             f"SweepConfig.retries must be an int >= 0 (got {self.retries!r})",
+        )
+        _require(
+            isinstance(self.heartbeat_timeout, (int, float))
+            and self.heartbeat_timeout > 0,
+            "SweepConfig.heartbeat_timeout must be > 0 "
+            f"(got {self.heartbeat_timeout!r})",
         )
 
 

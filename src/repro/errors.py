@@ -43,6 +43,38 @@ class SweepError(ReproError):
     an unknown grid was requested, or the result cache is unusable."""
 
 
+class SupervisionError(ReproError):
+    """Base class for execution-supervision failures (run guards, worker
+    supervision, sweep journal).  Guard subclasses carry a diagnostic
+    ``snapshot`` dict and, when a run was aborted mid-flight, the salvaged
+    ``partial`` statistics — an aborted run never dies opaquely."""
+
+    def __init__(self, message: str, snapshot: "dict | None" = None, partial=None):
+        super().__init__(message)
+        #: Diagnostic state captured at the moment of the violation:
+        #: task/event counters, quiescence reports, the last observability
+        #: events (see :func:`repro.supervise.guards.diagnostic_snapshot`).
+        self.snapshot = snapshot or {}
+        #: Partial typed results salvaged from the aborted run
+        #: (a :class:`~repro.runtime.context.RunStats`), or ``None``.
+        self.partial = partial
+
+
+class RunBudgetExceeded(SupervisionError):
+    """A supervised run crossed one of its hard budgets: wall-clock
+    deadline, kernel event count, or memory ceiling."""
+
+
+class NoProgressError(SupervisionError):
+    """A supervised run is live-locked: simulated time keeps advancing but
+    no task has completed over the configured window."""
+
+
+class SweepInterrupted(SupervisionError):
+    """A journaled sweep was interrupted (SIGINT/SIGTERM); the write-ahead
+    journal was flushed and the sweep can be resumed with ``--resume``."""
+
+
 class HicmaError(ReproError):
     """HiCMA numerical or DAG-construction failure."""
 

@@ -5,14 +5,47 @@ small (millisecond-scale simulated time) TLR Cholesky run sees a meaningful
 number of injections without drowning in retransmissions.  Event rates
 (``flap_rate``, ``pool_spike_rate``) are per simulated second, so values in
 the hundreds-to-thousands fire a handful of times per millisecond of run.
+
+Beyond the *simulated* faults, this module also defines the **harness
+chaos** vocabulary — process-level faults injected into the execution
+harness itself (the supervised sweep of :mod:`repro.supervise`), not into
+the simulation:
+
+``worker_kill``
+    The worker SIGKILLs itself when it picks up the targeted point —
+    the supervisor must respawn it and retry the point.
+``worker_hang``
+    The worker sleeps forever on the targeted point — the supervisor's
+    heartbeat timeout must terminate and retry it.
+``journal_truncate``
+    The sweep journal tears its tail mid-append at the targeted point's
+    outcome — resume must drop the torn line and re-run the point.
+
+Specs live in ``REPRO_HARNESS_CHAOS`` (comma-separated
+``kind@point_index:marker_dir``) so forked sweep workers inherit them; the
+``marker_dir`` holds one-shot marker files so each injection fires exactly
+once per campaign (a retried point must *succeed* on the respawned worker,
+not die again forever).
 """
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
 from repro.config import FaultConfig
 from repro.errors import ConfigError
 
-__all__ = ["FAULT_PLANS", "fault_plan"]
+__all__ = [
+    "FAULT_PLANS",
+    "fault_plan",
+    "HARNESS_CHAOS_KINDS",
+    "HARNESS_CHAOS_ENV",
+    "HarnessChaos",
+    "parse_harness_chaos",
+    "harness_chaos_from_env",
+]
 
 FAULT_PLANS: dict[str, FaultConfig] = {
     # Single-fault plans: isolate one injector each.
@@ -48,3 +81,77 @@ def fault_plan(name: str) -> FaultConfig:
     except KeyError:
         known = ", ".join(sorted(FAULT_PLANS))
         raise ConfigError(f"unknown fault plan {name!r} (known: {known})") from None
+
+
+# -- harness chaos (process-level, see module docstring) -------------------
+
+HARNESS_CHAOS_KINDS = ("worker_kill", "worker_hang", "journal_truncate")
+
+#: Environment variable carrying the active harness-chaos specs; read in
+#: every sweep worker process (they inherit the driver's environment).
+HARNESS_CHAOS_ENV = "REPRO_HARNESS_CHAOS"
+
+
+@dataclass(frozen=True)
+class HarnessChaos:
+    """One armed process-level fault: ``kind`` fires when the harness
+    reaches sweep point ``point_index``, at most once (tracked by a marker
+    file under ``marker_dir``)."""
+
+    kind: str
+    point_index: int
+    marker_dir: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in HARNESS_CHAOS_KINDS:
+            raise ConfigError(
+                f"unknown harness chaos kind {self.kind!r} "
+                f"(known: {', '.join(HARNESS_CHAOS_KINDS)})"
+            )
+        if self.point_index < 0:
+            raise ConfigError(
+                f"harness chaos point index must be >= 0 (got {self.point_index!r})"
+            )
+
+    def spec(self) -> str:
+        """The ``kind@index:marker_dir`` text form (inverse of parsing)."""
+        return f"{self.kind}@{self.point_index}:{self.marker_dir}"
+
+    def _marker(self) -> Path:
+        return Path(self.marker_dir) / f"{self.kind}-{self.point_index}.fired"
+
+    def should_fire(self, point_index: int) -> bool:
+        """True when this fault targets ``point_index`` and has not fired."""
+        return point_index == self.point_index and not self._marker().exists()
+
+    def mark_fired(self) -> None:
+        """Persist the one-shot marker (atomic create; races collapse to
+        one firing per marker dir, which is all the tests need)."""
+        marker = self._marker()
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.touch()
+
+
+def parse_harness_chaos(text: str) -> tuple:
+    """Parse a comma-separated ``kind@index:marker_dir`` spec list."""
+    chaos = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            kind, rest = part.split("@", 1)
+            index_text, marker_dir = rest.split(":", 1)
+            chaos.append(HarnessChaos(kind, int(index_text), marker_dir))
+        except (ValueError, TypeError):
+            raise ConfigError(
+                f"bad harness chaos spec {part!r} "
+                "(expected kind@point_index:marker_dir)"
+            ) from None
+    return tuple(chaos)
+
+
+def harness_chaos_from_env() -> tuple:
+    """The armed harness faults from ``$REPRO_HARNESS_CHAOS`` (or ())."""
+    text = os.environ.get(HARNESS_CHAOS_ENV, "")
+    return parse_harness_chaos(text) if text else ()

@@ -23,6 +23,14 @@ independent simulations; see ``docs/observability.md``.  Long single runs
 similarly emit ``run_progress`` heartbeats (tasks done/total, events/s,
 RSS, ETA) when a :class:`~repro.obs.progress.ProgressReporter` is
 installed — wall-clock telemetry for the paper-scale N = 360,000 runs.
+
+Supervised execution (:mod:`repro.supervise`, ``docs/robustness.md``) adds
+the watchdog kinds: ``watchdog_abort`` (a :class:`~repro.supervise.guards.
+RunGuards` budget tripped; ``key`` is the exception class name, ``info``
+the reason) and ``watchdog_worker`` (sweep worker lifecycle: ``key`` is
+the worker id, ``info`` one of ``spawned`` / ``died`` / ``hung`` / the
+replacement reason), plus the ``supervise.respawned`` / ``supervise.hung``
+counters and the ``sweep.resumed`` counter for journal-recovered points.
 """
 
 from __future__ import annotations

@@ -262,11 +262,35 @@ class ParsecContext:
 
     # -- execution ----------------------------------------------------------
 
+    def _partial_stats(self, workers: int) -> RunStats:
+        """Measurements salvaged from a run aborted mid-flight (guards).
+
+        ``makespan`` is the simulated clock at the abort — a lower bound on
+        the true time-to-solution, clearly partial because
+        ``tasks_executed < graph.num_tasks``.
+        """
+        return RunStats(
+            backend=self.backend,
+            num_nodes=self.platform.num_nodes,
+            workers_per_node=workers,
+            makespan=self.sim.now,
+            tasks_executed=self._executed,
+            flow_latencies=list(self._flow_lat),
+            msg_latencies=list(self._msg_lat),
+            activates_sent=self.stats_activates,
+            activations_aggregated=self.stats_aggregated,
+            wire_bytes=self.fabric.total_bytes(),
+            events_processed=self.sim.events_processed,
+            busy_time_total=sum(nd.busy_time for nd in self.nodes),
+            obs_counters=self.obs.counter_totals(),
+        )
+
     def run(
         self,
         graph: TaskGraph,
         until: Optional[float] = None,
         progress=None,
+        guards=None,
     ) -> RunStats:
         """Execute ``graph`` to completion and return the statistics.
 
@@ -274,6 +298,14 @@ class ParsecContext:
         the run: pass a :class:`~repro.obs.progress.ProgressReporter`, or
         ``True`` for one with defaults (bus-only, 1 s cadence).  The
         reporter is observational — it cannot change the schedule.
+
+        ``guards`` (a :class:`~repro.supervise.guards.RunGuards`) enforces
+        hard budgets — wall-clock deadline, kernel event count, memory
+        ceiling, no-progress window — from the same run-loop tick.  On a
+        violation the structured :class:`~repro.errors.RunBudgetExceeded`
+        / :class:`~repro.errors.NoProgressError` carries a diagnostic
+        snapshot plus salvaged partial :class:`RunStats` (``exc.partial``)
+        for whatever the run completed before the abort.
         """
         n = self.platform.num_nodes
         graph.validate(num_nodes=n)
@@ -291,9 +323,25 @@ class ParsecContext:
             progress.install(self)
         else:
             progress = None
+        # Guards install after progress so they chain (not clobber) its tick.
+        if guards is not None and guards.enabled:
+            guards.install(self)
+        else:
+            guards = None
         try:
             self.sim.run(until=until)
+        except Exception as exc:
+            from repro.errors import SupervisionError
+
+            if isinstance(exc, SupervisionError):
+                # Salvage what the aborted run did complete: both kernels
+                # guarantee a raising tick leaves the run loop consistent,
+                # so the partial stats are well-defined measurements.
+                exc.partial = self._partial_stats(workers)
+            raise
         finally:
+            if guards is not None:
+                guards.finish()
             if progress is not None:
                 progress.finish()
         if not self.stopped:

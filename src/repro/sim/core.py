@@ -520,6 +520,13 @@ class Simulator:
         simulation work; it sees the kernel mid-run, so treat the simulator
         as read-only.  With no tick installed the run loop pays only one
         integer compare per iteration.
+
+        A tick callback **may raise** to abort the run: both kernels
+        guarantee the exception propagates out of :meth:`run` with the
+        simulator left consistent (clock, event count, and pending events
+        reflect everything dispatched before the abort), so a supervisor
+        (:class:`repro.supervise.guards.RunGuards`) can budget-limit a run
+        and still take a trustworthy diagnostic snapshot afterwards.
         """
         if fn is not None and every < 1:
             raise SimulationError(f"tick interval must be >= 1, got {every!r}")

@@ -1,0 +1,58 @@
+"""``repro.supervise`` — supervised execution for runs and sweeps.
+
+The paper's results come from long multi-run campaigns (the 15-of-18-run
+methodology, 1–32 nodes); this package makes the *execution harness* as
+fault-tolerant as PR 2 made the simulated system:
+
+- **run guards** (:mod:`repro.supervise.guards`) — wall-clock deadline,
+  kernel event budget, memory ceiling, and live-lock detection enforced
+  from the simulator's existing run-loop tick; violations raise structured
+  :class:`~repro.errors.RunBudgetExceeded` / :class:`~repro.errors.
+  NoProgressError` carrying a diagnostic snapshot and salvaged partial
+  results instead of dying opaquely;
+- **worker supervision** (:mod:`repro.supervise.pool`) — the sweep
+  engine's parallel path runs under a supervisor that respawns workers
+  killed by SIGKILL/OOM, terminates hung points via a heartbeat timeout,
+  and classifies failures as transient (retry) vs deterministic (fail
+  fast);
+- **crash-safe resumption** (:mod:`repro.supervise.journal`) — a
+  write-ahead, checksummed, corrupt-tail-tolerant sweep journal that
+  ``python -m repro sweep ... --resume`` replays to skip completed
+  points, making an interrupted campaign lose at most the in-flight
+  points.
+
+Harness-level chaos (``worker_kill`` / ``worker_hang`` /
+``journal_truncate``, :func:`repro.faults.plans.parse_harness_chaos`)
+verifies the supervisor itself under injected crashes; see
+``docs/robustness.md`` for the runbook and
+``tools/check_interrupt_resume.py`` for the end-to-end gate.
+"""
+
+from repro.errors import (
+    NoProgressError,
+    RunBudgetExceeded,
+    SupervisionError,
+    SweepInterrupted,
+)
+from repro.supervise.guards import RunGuards, diagnostic_snapshot
+from repro.supervise.journal import JournalState, SweepJournal, read_journal
+from repro.supervise.pool import (
+    WorkerSupervisor,
+    classify_failure,
+    is_deterministic_failure,
+)
+
+__all__ = [
+    "SupervisionError",
+    "RunBudgetExceeded",
+    "NoProgressError",
+    "SweepInterrupted",
+    "RunGuards",
+    "diagnostic_snapshot",
+    "SweepJournal",
+    "JournalState",
+    "read_journal",
+    "WorkerSupervisor",
+    "classify_failure",
+    "is_deterministic_failure",
+]

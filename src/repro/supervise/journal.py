@@ -1,0 +1,258 @@
+"""The write-ahead sweep journal: crash-safe, checksummed, resumable.
+
+Format
+------
+One canonical-JSON object per line (``\\n``-terminated).  Every entry
+carries a ``check`` field — the :func:`repro.codec.stable_hash` of the
+entry *without* ``check`` — so a torn or bit-rotted line is detected
+positively rather than half-parsed.  Entry kinds:
+
+``sweep_begin``
+    Written once when the sweep opens the journal: the spec name, point
+    count, a hash over the ordered point keys (so a journal can never be
+    replayed against a different grid), and the sweep config.
+``attempt``
+    Written *before* a point is dispatched (the write-ahead part): point
+    index and attempt number.  A crash between ``attempt`` and ``outcome``
+    means the point's fate is unknown and it re-runs on resume.
+``outcome``
+    The point's fate: ``status`` ``"ok"`` (with the canonical result
+    record) or ``"failed"`` (with the error repr).
+``interrupted``
+    Appended by the SIGINT/SIGTERM flush path before the driver exits.
+``sweep_end``
+    Terminal entry of a completed sweep.
+
+Reading is **corrupt-tail tolerant**: :func:`read_journal` returns every
+leading entry whose checksum verifies and stops at the first damaged line
+(a killed writer can only tear the tail — appends are single ``write``
+calls flushed per entry).  Damaged or missing outcomes simply re-run; they
+can never be half-trusted.  The ``journal_truncate`` harness-chaos kind
+(see :func:`repro.faults.plans.parse_harness_chaos`) tears the tail on
+purpose to keep this path honest.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.codec import canonical_json, stable_hash
+from repro.errors import SweepError
+
+__all__ = ["SweepJournal", "JournalState", "read_journal"]
+
+_FORMAT_VERSION = 1
+
+
+def _sealed(entry: dict) -> str:
+    """The entry's canonical line, ``check`` field included."""
+    entry = dict(entry)
+    entry.pop("check", None)
+    entry["check"] = stable_hash(entry)
+    return canonical_json(entry)
+
+
+def _verify(entry: Any) -> bool:
+    """True when ``entry`` is a dict whose ``check`` field matches."""
+    if not isinstance(entry, dict) or "check" not in entry:
+        return False
+    body = {k: v for k, v in entry.items() if k != "check"}
+    return stable_hash(body) == entry["check"]
+
+
+class JournalState:
+    """Everything a resume needs, replayed from the verified entries."""
+
+    def __init__(self) -> None:
+        #: The verified ``sweep_begin`` entry, or ``None``.
+        self.begin: Optional[dict] = None
+        #: Point index → canonical result record (``"ok"`` outcomes only).
+        self.completed: dict[int, dict] = {}
+        #: Point index → last recorded error repr (``"failed"`` outcomes).
+        self.failed: dict[int, str] = {}
+        #: Point index → attempts already journaled.
+        self.attempts: dict[int, int] = {}
+        #: Verified entries read before the (possibly corrupt) tail.
+        self.entries: int = 0
+        #: True when a damaged line stopped the read early.
+        self.corrupt_tail: bool = False
+        #: True when a terminal ``sweep_end`` entry was read.
+        self.finished: bool = False
+        #: True when an ``interrupted`` flush entry was read.
+        self.interrupted: bool = False
+
+    def summary(self) -> str:
+        """One-line resume report."""
+        tail = ", corrupt tail dropped" if self.corrupt_tail else ""
+        return (
+            f"journal: {self.entries} entries, {len(self.completed)} points "
+            f"complete, {len(self.failed)} failed"
+            f"{' (interrupted)' if self.interrupted else ''}{tail}"
+        )
+
+
+def read_journal(path: "Path | str") -> JournalState:
+    """Replay ``path`` into a :class:`JournalState`, tolerating a torn tail.
+
+    A missing file yields an empty state.  Lines after the first damaged
+    one are ignored — with per-entry flushes only the tail can be torn, and
+    anything beyond a tear cannot be ordered against the missing data.
+    """
+    state = JournalState()
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        return state
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            state.corrupt_tail = True
+            break
+        if not _verify(entry):
+            state.corrupt_tail = True
+            break
+        state.entries += 1
+        kind = entry.get("kind")
+        if kind == "sweep_begin":
+            state.begin = entry
+        elif kind == "attempt":
+            idx = entry["idx"]
+            state.attempts[idx] = max(state.attempts.get(idx, 0), entry["attempt"])
+        elif kind == "outcome":
+            idx = entry["idx"]
+            if entry["status"] == "ok":
+                state.completed[idx] = entry["record"]
+                state.failed.pop(idx, None)
+            else:
+                state.failed[idx] = entry.get("error", "")
+        elif kind == "interrupted":
+            state.interrupted = True
+        elif kind == "sweep_end":
+            state.finished = True
+    return state
+
+
+class SweepJournal:
+    """Append-only writer over the journal file.
+
+    Each append is one ``write`` of a full line followed by ``flush`` +
+    ``fsync``, so a crash at any instant leaves at most one torn line at
+    the tail — exactly what :func:`read_journal` tolerates.
+    """
+
+    def __init__(self, path: "Path | str"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fp: Optional[io.TextIOBase] = None
+        #: Set by harness chaos (``journal_truncate``): tear the tail of
+        #: the next ``outcome`` append for this point index, then stop
+        #: writing — simulating the writer dying mid-append.
+        self._truncate_at: Optional[int] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def open(self, truncate: bool = False) -> "SweepJournal":
+        """Open the file for appending (created empty if absent).
+
+        ``truncate=True`` discards any existing content — used by fresh
+        (non-resume) sweeps so a stale journal from an earlier grid can
+        never leak entries into this one.
+        """
+        if self._fp is None:
+            self._fp = open(self.path, "w" if truncate else "a",
+                            encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        """Flush and close; further appends raise."""
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    @staticmethod
+    def begin_entry(name: str, keys: list, config_doc: dict) -> dict:
+        """The identity payload a journal is bound to (see :meth:`begin`)."""
+        return {
+            "kind": "sweep_begin",
+            "v": _FORMAT_VERSION,
+            "name": name,
+            "n_points": len(keys),
+            "keys_hash": stable_hash(list(keys)),
+            "config": config_doc,
+        }
+
+    # -- appends ----------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        if self._fp is None:
+            return  # journal dead (chaos tear or closed) — writes are lost,
+            # which is precisely the failure mode resume must absorb.
+        line = _sealed(entry) + "\n"
+        if self._truncate_at is not None and (
+            entry.get("kind") == "outcome" and entry.get("idx") == self._truncate_at
+        ):
+            # Chaos: die mid-append — half the line, no newline, no more
+            # writes.  read_journal must drop this tail and re-run the point.
+            self._fp.write(line[: max(1, len(line) // 2)])
+            self._fp.flush()
+            os.fsync(self._fp.fileno())
+            self.close()
+            return
+        self._fp.write(line)
+        self._fp.flush()
+        os.fsync(self._fp.fileno())
+
+    def begin(self, name: str, keys: list, config_doc: dict) -> None:
+        """Journal the sweep identity (spec name, ordered keys, config)."""
+        self._append(self.begin_entry(name, keys, config_doc))
+
+    def attempt(self, idx: int, attempt: int) -> None:
+        """Write-ahead: point ``idx`` is about to run (``attempt``-th try)."""
+        self._append({"kind": "attempt", "idx": idx, "attempt": attempt})
+
+    def outcome_ok(self, idx: int, record: dict) -> None:
+        """Point ``idx`` completed with ``record``."""
+        self._append({"kind": "outcome", "idx": idx, "status": "ok",
+                      "record": record})
+
+    def outcome_failed(self, idx: int, error: str) -> None:
+        """Point ``idx`` exhausted its retries with ``error``."""
+        self._append({"kind": "outcome", "idx": idx, "status": "failed",
+                      "error": error})
+
+    def interrupted(self, reason: str) -> None:
+        """Flush entry written by the SIGINT/SIGTERM handler path."""
+        self._append({"kind": "interrupted", "reason": reason})
+
+    def end(self, executed: int, cached: int, failed: int) -> None:
+        """Terminal entry of a completed sweep."""
+        self._append({"kind": "sweep_end", "executed": executed,
+                      "cached": cached, "failed": failed})
+
+    # -- resume -----------------------------------------------------------
+
+    def load_for_resume(self, begin_entry: dict) -> JournalState:
+        """Read the existing journal and check it matches this sweep.
+
+        ``begin_entry`` is :meth:`begin_entry` for the sweep about to run;
+        a journal recorded for a different grid (name, point count, or key
+        order) raises :class:`~repro.errors.SweepError` rather than
+        silently mixing records.
+        """
+        state = read_journal(self.path)
+        if state.begin is not None:
+            for field in ("name", "n_points", "keys_hash"):
+                if state.begin.get(field) != begin_entry[field]:
+                    raise SweepError(
+                        f"journal {self.path} records a different sweep "
+                        f"({field}: {state.begin.get(field)!r} != "
+                        f"{begin_entry[field]!r}); refusing to resume"
+                    )
+        return state

@@ -1,0 +1,390 @@
+"""The supervised worker pool behind ``run_sweep``'s parallel path.
+
+Why not ``ProcessPoolExecutor``
+-------------------------------
+A bare executor turns one SIGKILLed worker (OOM killer, operator, chaos)
+into a ``BrokenProcessPool`` that aborts the whole sweep, and a hung point
+blocks its future forever.  :class:`WorkerSupervisor` owns its workers
+directly, one duplex pipe pair each, so failure containment is per-worker:
+
+- **death** — a worker that disappears (its result pipe hits EOF) is
+  respawned and its in-flight point retried through the shared
+  :class:`~repro.runtime.comm_engine.BackoffPolicy` budget;
+- **hang** — every worker message (``begin``, periodic ``hb`` heartbeats
+  from the run-progress tick, ``ok``/``err``) refreshes a liveness stamp;
+  a busy worker silent for ``heartbeat_timeout`` wall seconds is
+  SIGKILLed, respawned, and its point retried;
+- **failure classification** — exceptions are classified by
+  :func:`classify_failure`: *deterministic* failures (``ConfigError``,
+  ``TypeError``, ... — re-running cannot change the outcome) fail the
+  point immediately instead of burning retries × backoff wall-clock;
+  everything else is *transient* and retried.
+
+Messages are tagged with a monotonically increasing worker id; a stale
+message from a worker that was already declared dead or hung is dropped,
+so a kill racing a result can never double-count a point.
+
+The supervisor emits ``watchdog_*`` observability events and
+``supervise.*`` counters (respawns, hangs, transient retries, fail-fasts)
+and honours the harness-chaos environment
+(:func:`repro.faults.plans.harness_chaos_from_env`): ``worker_kill`` and
+``worker_hang`` fire *inside the worker* when it picks up the targeted
+point, which is how ``tools/check_interrupt_resume.py`` proves the
+supervision paths work end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    BenchmarkError,
+    ConfigError,
+    HicmaError,
+    SimulationError,
+    SweepError,
+)
+from repro.obs.bus import NULL_BUS
+from repro.runtime.comm_engine import BackoffPolicy
+
+__all__ = ["WorkerSupervisor", "classify_failure", "is_deterministic_failure"]
+
+#: Exception families for which a retry cannot change the outcome: the
+#: point's configuration or the code itself is wrong.  Everything else —
+#: OS trouble, resource exhaustion, a killed worker — is transient.
+_DETERMINISTIC = (
+    ConfigError,
+    SweepError,
+    BenchmarkError,
+    HicmaError,
+    SimulationError,
+    TypeError,
+    ValueError,
+    KeyError,
+    AttributeError,
+    AssertionError,
+    ZeroDivisionError,
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"deterministic"`` (fail fast) or ``"transient"`` (retry).
+
+    Shared by the serial retry loop in :func:`repro.sweep.engine.run_sweep`
+    and the supervisor; the default for unknown exception types is
+    ``"transient"`` — when in doubt, one more attempt is cheaper than a
+    lost campaign point.
+    """
+    return "deterministic" if isinstance(exc, _DETERMINISTIC) else "transient"
+
+
+def is_deterministic_failure(exc: BaseException) -> bool:
+    """True when retrying ``exc``'s point cannot change the outcome."""
+    return classify_failure(exc) == "deterministic"
+
+
+class _PipeBeat:
+    """Heartbeat emitter for one in-flight point, duck-typing the
+    :class:`~repro.obs.progress.ProgressReporter` install/finish contract
+    so :func:`repro.sweep.engine.execute_point` can hand it to workloads
+    that take a ``progress`` reporter (the run-progress tick then becomes
+    the liveness signal)."""
+
+    def __init__(self, conn, idx: int, interval: float):
+        self._conn = conn
+        self._idx = idx
+        self._interval = interval
+        self._ctx = None
+        self._last = time.monotonic()
+
+    def install(self, ctx) -> None:
+        """Attach to the context's run-loop tick (ProgressReporter duck)."""
+        self._ctx = ctx
+        ctx.sim.set_tick(self._tick, every=4096)
+
+    def finish(self) -> None:
+        """Detach from the tick."""
+        if self._ctx is not None:
+            self._ctx.sim.set_tick(None)
+            self._ctx = None
+
+    def _tick(self, _event_count: int) -> None:
+        now = time.monotonic()
+        if now - self._last >= self._interval:
+            self._last = now
+            self._conn.send(("hb", self._idx))
+
+
+def _fire_worker_chaos(idx: int) -> None:
+    """Fire any armed ``worker_kill``/``worker_hang`` targeting ``idx``."""
+    from repro.faults.plans import harness_chaos_from_env
+
+    for fault in harness_chaos_from_env():
+        if fault.kind == "worker_kill" and fault.should_fire(idx):
+            fault.mark_fired()
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault.kind == "worker_hang" and fault.should_fire(idx):
+            fault.mark_fired()
+            while True:  # pragma: no cover - killed by the supervisor
+                time.sleep(3600.0)
+
+
+def _worker_main(task_conn, result_conn) -> None:
+    """Worker-process entry: execute points until the task pipe closes.
+
+    Results cross the pipe as canonical JSON (``sort_keys`` round-trip),
+    preserving the engine's bit-identical serial == parallel == cached
+    contract.  Exceptions are reported by name/repr plus their
+    classification — exception *types* are classified here, where they are
+    live objects, not re-guessed from text in the driver.
+    """
+    from repro.sweep.engine import execute_point
+    from repro.sweep.spec import SweepPoint
+
+    while True:
+        try:
+            item = task_conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        idx, doc, hb_interval = item
+        result_conn.send(("begin", idx))
+        _fire_worker_chaos(idx)
+        try:
+            beat = _PipeBeat(result_conn, idx, hb_interval)
+            record = execute_point(SweepPoint.from_dict(doc), progress=beat)
+            record = json.loads(json.dumps(record, sort_keys=True))
+            result_conn.send(("ok", idx, record))
+        except BaseException as exc:  # noqa: BLE001 - classified and reported
+            result_conn.send(
+                ("err", idx, type(exc).__name__, repr(exc),
+                 is_deterministic_failure(exc))
+            )
+
+
+class _Worker:
+    """One supervised worker process and its pipe pair."""
+
+    __slots__ = ("wid", "proc", "task_conn", "result_conn", "idx", "last_beat")
+
+    def __init__(self, wid: int, mp_ctx):
+        self.wid = wid
+        parent_task, child_task = mp_ctx.Pipe(duplex=False)
+        parent_result, child_result = mp_ctx.Pipe(duplex=False)
+        self.proc = mp_ctx.Process(
+            target=_worker_main,
+            args=(parent_task, child_result),
+            name=f"sweep-worker-{wid}",
+            daemon=True,
+        )
+        self.proc.start()
+        parent_task.close()
+        child_result.close()
+        self.task_conn = child_task      # driver writes tasks here
+        self.result_conn = parent_result  # driver reads results here
+        #: Sweep point index in flight, or ``None`` when idle.
+        self.idx: Optional[int] = None
+        #: Wall-clock stamp of the last message (liveness signal).
+        self.last_beat = time.monotonic()
+
+    def kill(self) -> None:
+        """SIGKILL + reap; close both pipe ends."""
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(timeout=5.0)
+        self.proc.close()
+        for conn in (self.task_conn, self.result_conn):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class WorkerSupervisor:
+    """Fan sweep points over supervised worker processes.
+
+    Use as a context manager; :meth:`run` dispatches ``tasks`` (a list of
+    ``(idx, point_doc)`` pairs) and drives every point to a terminal
+    ``on_ok(idx, record)`` or ``on_failed(idx, error_repr)`` callback.
+    ``on_attempt(idx, attempt)`` fires *before* each dispatch (the sweep
+    journal's write-ahead hook); ``on_retry(idx, attempt, reason)`` after
+    each transient failure.  Exceptions raised by callbacks (``fail_fast``)
+    propagate after the workers are torn down.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        retries: int = 1,
+        backoff: Optional[BackoffPolicy] = None,
+        heartbeat_timeout: float = 30.0,
+        poll_interval: float = 0.05,
+        obs: Any = NULL_BUS,
+    ):
+        if jobs < 1:
+            raise ConfigError(f"WorkerSupervisor needs jobs >= 1 (got {jobs!r})")
+        if heartbeat_timeout <= 0:
+            raise ConfigError(
+                f"heartbeat_timeout must be > 0 (got {heartbeat_timeout!r})"
+            )
+        self.jobs = jobs
+        self.retries = retries
+        self.backoff = backoff or BackoffPolicy(base=0.05, factor=2.0, max_delay=2.0)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
+        self.obs = obs
+        #: Wall-clock cadence of worker heartbeats (4 per timeout window).
+        self.beat_interval = max(0.05, heartbeat_timeout / 4.0)
+        self.respawned = 0
+        self.hung = 0
+        self._mp = multiprocessing.get_context()
+        self._next_wid = 0
+        self._workers: dict[int, _Worker] = {}
+        self._c_respawn = obs.counter("supervise.respawned")
+        self._c_hung = obs.counter("supervise.hung")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "WorkerSupervisor":
+        for _ in range(self.jobs):
+            self._spawn()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for worker in list(self._workers.values()):
+            try:
+                worker.task_conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers.values():
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in self._workers.values():
+            worker.kill()
+        self._workers.clear()
+
+    def _spawn(self) -> "_Worker":
+        self._next_wid += 1
+        worker = _Worker(self._next_wid, self._mp)
+        self._workers[worker.wid] = worker
+        if self.obs.enabled:
+            self.obs.emit("watchdog_worker", -1, key=worker.wid,
+                          info="spawned", time=0.0)
+        return worker
+
+    def _replace(self, worker: "_Worker", reason: str) -> None:
+        """Tear down ``worker`` and spawn a successor."""
+        del self._workers[worker.wid]
+        worker.kill()
+        self.respawned += 1
+        self._c_respawn.inc()
+        if self.obs.enabled:
+            self.obs.emit("watchdog_worker", -1, key=worker.wid,
+                          info=reason, time=0.0)
+        self._spawn()
+
+    # -- dispatch ---------------------------------------------------------
+
+    def run(
+        self,
+        tasks: list,
+        on_ok: Callable[[int, dict], None],
+        on_failed: Callable[[int, str], None],
+        on_attempt: Optional[Callable[[int, int], None]] = None,
+        on_retry: Optional[Callable[[int, int, str], None]] = None,
+    ) -> None:
+        """Drive every ``(idx, doc)`` task to a terminal callback."""
+        pending = list(tasks)
+        attempts = {idx: 0 for idx, _ in tasks}
+        outstanding = len(pending)
+        docs = {idx: doc for idx, doc in tasks}
+
+        def dispatch(idx: int) -> None:
+            worker = next(
+                (w for w in self._workers.values() if w.idx is None), None
+            )
+            if worker is None:  # pragma: no cover - dispatch only when free
+                pending.append((idx, docs[idx]))
+                return
+            attempts[idx] += 1
+            if on_attempt is not None:
+                on_attempt(idx, attempts[idx])
+            worker.idx = idx
+            worker.last_beat = time.monotonic()
+            worker.task_conn.send((idx, docs[idx], self.beat_interval))
+
+        def retry_or_fail(idx: int, reason: str, deterministic: bool) -> bool:
+            """Handle a failed attempt; returns True when terminal."""
+            nonlocal outstanding
+            if deterministic or attempts[idx] > self.retries:
+                outstanding -= 1
+                on_failed(idx, reason)
+                return True
+            if on_retry is not None:
+                on_retry(idx, attempts[idx], reason)
+            time.sleep(self.backoff.delay(attempts[idx]))
+            pending.append((idx, docs[idx]))
+            return False
+
+        while outstanding > 0:
+            while pending and any(w.idx is None for w in self._workers.values()):
+                idx, _doc = pending.pop(0)
+                dispatch(idx)
+            ready = _conn_wait(
+                [w.result_conn for w in self._workers.values()],
+                timeout=self.poll_interval,
+            )
+            now = time.monotonic()
+            conn_owner = {w.result_conn: w for w in self._workers.values()}
+            for conn in ready:
+                worker = conn_owner.get(conn)
+                if worker is None:  # pragma: no cover - stale fd after replace
+                    continue
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died (SIGKILL/OOM): respawn, retry its point.
+                    idx = worker.idx
+                    self._replace(worker, "died")
+                    if idx is not None:
+                        retry_or_fail(idx, "worker died (killed or OOM)", False)
+                    continue
+                worker.last_beat = now
+                kind = msg[0]
+                if kind in ("begin", "hb"):
+                    continue
+                idx = msg[1]
+                worker.idx = None
+                if kind == "ok":
+                    outstanding -= 1
+                    on_ok(idx, msg[2])
+                else:  # "err"
+                    _kind, _idx, name, text, deterministic = msg
+                    retry_or_fail(idx, f"{name}: {text}", deterministic)
+            # Hang detection: busy workers silent past the timeout.
+            for worker in list(self._workers.values()):
+                if worker.idx is None:
+                    if not worker.proc.is_alive():
+                        self._replace(worker, "died idle")
+                    continue
+                if now - worker.last_beat > self.heartbeat_timeout:
+                    idx = worker.idx
+                    self.hung += 1
+                    self._c_hung.inc()
+                    if self.obs.enabled:
+                        self.obs.emit("watchdog_worker", -1, key=worker.wid,
+                                      info=f"hung on point {idx}", time=0.0)
+                    self._replace(worker, "hung")
+                    retry_or_fail(
+                        idx,
+                        f"no heartbeat for {self.heartbeat_timeout:.1f}s",
+                        False,
+                    )

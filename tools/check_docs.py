@@ -16,6 +16,13 @@ simulation):
    must be a real subcommand of :func:`repro.cli.build_parser`, and every
    real subcommand must be mentioned somewhere in the checked pages, so
    new verbs cannot ship undocumented.
+4. **CLI flags** — every ``--flag`` on a ``python -m repro <verb> ...``
+   command line in the docs must be a flag that verb actually defines
+   (per-verb ``add_argument`` calls plus the ``_common_flags`` parents,
+   read from the AST), and every flag in ``REQUIRED_DOCUMENTED_FLAGS``
+   must be mentioned in some checked page — so load-bearing flags (the
+   supervision surface: ``--journal``, ``--resume``, ``--deadline``, ...)
+   cannot ship undocumented.
 
 Usage:  python tools/check_docs.py    (exit 0 = clean, 1 = drift found)
 """
@@ -37,6 +44,15 @@ PAGES = ["README.md", "EXPERIMENTS.md", "DESIGN.md", *sorted(
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CODEREF = re.compile(r"`([A-Za-z0-9_/.-]+\.py)(?::([A-Za-z0-9_.]+))?`")
 _VERB = re.compile(r"python -m repro ([a-z][a-z0-9-]*)")
+_FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+
+#: Flags that must be documented somewhere in the checked pages — the
+#: supervised-execution surface (docs/robustness.md); a rename or removal
+#: here without a doc update is drift.
+REQUIRED_DOCUMENTED_FLAGS = {
+    "sweep": ("--journal", "--resume", "--out", "--heartbeat-timeout"),
+    "hicma": ("--deadline", "--max-events"),
+}
 
 
 def check_links(page: pathlib.Path, text: str) -> list[str]:
@@ -129,18 +145,123 @@ def cli_verbs() -> set[str]:
     return verbs
 
 
+#: ``_common_flags`` keyword -> the flags its parent parser contributes.
+_COMMON_PARENT_FLAGS = {
+    "backend": ("--backend",),
+    "seed": ("--seed",),
+    "nodes": ("--nodes", "--num-nodes"),
+    "jobs": ("--jobs",),
+}
+
+
+def cli_verb_flags() -> dict:
+    """Verb -> the ``--flags`` it defines, from the AST of ``cli.py``.
+
+    Tracks ``<var> = sub.add_parser("<verb>", parents=[_common_flags(...)])``
+    assignments, the shared flags implied by the non-``None``
+    ``_common_flags`` keywords, and every later ``<var>.add_argument``.
+    """
+    tree = ast.parse((ROOT / "src" / "repro" / "cli.py").read_text())
+    var_to_verb: dict = {}
+    flags: dict = {verb: set() for verb in cli_verbs()}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        call = node.value
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "add_parser"
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+        ):
+            continue
+        verb = call.args[0].value
+        for kw in call.keywords:
+            if kw.arg != "parents" or not isinstance(kw.value, ast.List):
+                continue
+            for parent in kw.value.elts:
+                if not isinstance(parent, ast.Call):
+                    continue
+                for pkw in parent.keywords:
+                    omitted = (
+                        isinstance(pkw.value, ast.Constant)
+                        and pkw.value.value is None
+                    )
+                    if pkw.arg in _COMMON_PARENT_FLAGS and not omitted:
+                        flags[verb].update(_COMMON_PARENT_FLAGS[pkw.arg])
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                var_to_verb[tgt.id] = verb
+    # Argument groups inherit their parser's verb:
+    #   mode = ex.add_mutually_exclusive_group()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr
+            in ("add_mutually_exclusive_group", "add_argument_group")
+            and isinstance(node.value.func.value, ast.Name)
+            and node.value.func.value.id in var_to_verb
+        ):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    var_to_verb[tgt.id] = var_to_verb[node.value.func.value.id]
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+            and isinstance(node.func.value, ast.Name)
+        ):
+            continue
+        verb = var_to_verb.get(node.func.value.id)
+        if verb is None:
+            continue
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and arg.value.startswith("--")
+            ):
+                flags[verb].add(arg.value)
+    return flags
+
+
+def check_command_flags(rel: str, text: str, verb_flags: dict) -> list[str]:
+    """Flags on doc command lines must exist on the verb they are passed to."""
+    errors = []
+    # Re-join backslash-continued command lines before scanning.
+    joined = re.sub(r"\\\s*\n\s*", " ", text)
+    for line in joined.splitlines():
+        match = _VERB.search(line)
+        if not match or match.group(1) not in verb_flags:
+            continue
+        known = verb_flags[match.group(1)]
+        for flag in _FLAG.findall(line[match.end():]):
+            if flag not in known:
+                errors.append(
+                    f"{rel}: verb {match.group(1)!r} has no flag {flag}"
+                )
+    return errors
+
+
 def main() -> int:
     errors: list[str] = []
     verbs = cli_verbs()
+    verb_flags = cli_verb_flags()
     mentioned: set[str] = set()
+    all_text = []
     for rel in PAGES:
         page = ROOT / rel
         if not page.exists():
             errors.append(f"checked page missing: {rel}")
             continue
         text = page.read_text()
+        all_text.append(text)
         errors += check_links(page, text)
         errors += check_code_refs(page, text)
+        errors += check_command_flags(rel, text, verb_flags)
         for match in _VERB.finditer(text):
             verb = match.group(1)
             mentioned.add(verb)
@@ -153,6 +274,19 @@ def main() -> int:
                 mentioned.add(verb)
     for verb in sorted(verbs - mentioned):
         errors.append(f"CLI verb {verb!r} is not documented in any checked page")
+    corpus = "\n".join(all_text)
+    for verb, required in sorted(REQUIRED_DOCUMENTED_FLAGS.items()):
+        for flag in required:
+            if flag not in verb_flags.get(verb, set()):
+                errors.append(
+                    f"required flag {flag} is no longer defined by the "
+                    f"{verb!r} verb (update REQUIRED_DOCUMENTED_FLAGS?)"
+                )
+            elif flag not in corpus:
+                errors.append(
+                    f"required {verb!r} flag {flag} is not documented in "
+                    "any checked page"
+                )
     if errors:
         for err in errors:
             print(err)

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Check: an interrupted, chaos-ridden sweep resumes to a bit-identical
+result.
+
+End-to-end proof of the supervised execution layer
+(:mod:`repro.supervise`, ``docs/robustness.md``), driving the real CLI in
+subprocesses:
+
+1. **Baseline** — a serial, cache-less sweep; its records are ground truth.
+2. **worker_kill** — the same grid in parallel with a chaos-armed worker
+   that SIGKILLs itself mid-point: the supervisor must respawn it, retry
+   the point, and produce byte-identical records (canonical JSON).
+3. **Interrupt + resume** — a journaled parallel sweep with a chaos-armed
+   *hanging* worker is SIGTERMed partway (after some outcomes are
+   journaled but before completion — the hang pins the sweep open, so
+   there is no race).  The driver must exit 130, flush the journal with an
+   ``interrupted`` entry, and print a resume hint; ``--resume`` must then
+   complete only the missing points and write records byte-identical to
+   the baseline.
+4. **worker_hang** — the hang chaos again, this time with a short
+   ``--heartbeat-timeout``: the supervisor must detect the silent worker,
+   terminate it, retry, and finish with identical records.
+
+Any divergence, wrong exit code, or missing journal entry — exit 1.
+
+Run as::
+
+    python tools/check_interrupt_resume.py [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.supervise.journal import read_journal  # noqa: E402
+
+#: A tiny grid (4 points, ~0.5 s serial) shared by every scenario.
+GRID = ["pingpong", "--fragments", "64K", "128K", "--total", "256K",
+        "--no-cache"]
+
+
+def sweep_cmd(*extra: str) -> list:
+    return [sys.executable, "-m", "repro", "sweep", *GRID, *extra]
+
+
+def run(cmd: list, env: dict, **kw) -> subprocess.CompletedProcess:
+    return subprocess.run(cmd, env=env, capture_output=True, text=True, **kw)
+
+
+def records_of(path: Path) -> str:
+    """The canonical-JSON record set of a saved sweep outcome."""
+    doc = json.loads(path.read_text())
+    return json.dumps({"keys": doc["keys"], "records": doc["records"]},
+                      sort_keys=True)
+
+
+def check_baseline(tmp: Path, env: dict) -> "str | None":
+    out = tmp / "baseline.json"
+    proc = run(sweep_cmd("--jobs", "1", "--out", str(out)), env)
+    if proc.returncode != 0:
+        print(f"FAIL baseline: exit {proc.returncode}\n{proc.stderr}")
+        return None
+    print("ok baseline: serial sweep complete")
+    return records_of(out)
+
+
+def check_worker_kill(tmp: Path, env: dict, baseline: str) -> bool:
+    out = tmp / "killed.json"
+    env = dict(env, REPRO_HARNESS_CHAOS=f"worker_kill@1:{tmp}/kill-markers")
+    proc = run(sweep_cmd("--jobs", "2", "--out", str(out)), env)
+    if proc.returncode != 0:
+        print(f"FAIL worker_kill: exit {proc.returncode}\n{proc.stderr}")
+        return False
+    if records_of(out) != baseline:
+        print("FAIL worker_kill: records diverged from baseline")
+        return False
+    if not (tmp / "kill-markers").exists():
+        print("FAIL worker_kill: chaos never fired (marker dir missing)")
+        return False
+    print("ok worker_kill: SIGKILLed worker respawned, records bit-identical")
+    return True
+
+
+def check_interrupt_resume(tmp: Path, env: dict, baseline: str) -> bool:
+    journal = tmp / "sweep.journal"
+    out = tmp / "resumed.json"
+    # The chaos worker hangs on the *last* point with a generous heartbeat
+    # timeout, pinning the sweep open: by the time earlier outcomes are
+    # journaled the driver is guaranteed to still be alive to SIGTERM.
+    env_hang = dict(env, REPRO_HARNESS_CHAOS=f"worker_hang@3:{tmp}/markers")
+    proc = subprocess.Popen(
+        sweep_cmd("--jobs", "2", "--journal", str(journal)),
+        env=env_hang, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if len(read_journal(journal).completed) >= 2:
+            break
+        if proc.poll() is not None:
+            print(f"FAIL interrupt: sweep exited early ({proc.returncode}) "
+                  f"before SIGTERM\n{proc.communicate()[1]}")
+            return False
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        print("FAIL interrupt: no journaled outcomes within 60s")
+        return False
+    proc.send_signal(signal.SIGTERM)
+    try:
+        _stdout, stderr = proc.communicate(timeout=30.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        print("FAIL interrupt: driver ignored SIGTERM for 30s")
+        return False
+    ok = True
+    if proc.returncode != 130:
+        print(f"FAIL interrupt: exit {proc.returncode} (wanted 130)")
+        ok = False
+    state = read_journal(journal)
+    if not state.interrupted:
+        print("FAIL interrupt: journal has no 'interrupted' flush entry")
+        ok = False
+    if not state.completed:
+        print("FAIL interrupt: journal recorded no completed points")
+        ok = False
+    if "--resume" not in stderr:
+        print(f"FAIL interrupt: no resume hint on stderr:\n{stderr}")
+        ok = False
+    if not ok:
+        return False
+    done = len(state.completed)
+    proc = run(
+        sweep_cmd("--jobs", "2", "--journal", str(journal), "--resume",
+                  "--out", str(out)),
+        env,  # chaos disarmed: the hung point must simply run
+    )
+    if proc.returncode != 0:
+        print(f"FAIL resume: exit {proc.returncode}\n{proc.stderr}")
+        return False
+    if records_of(out) != baseline:
+        print("FAIL resume: records diverged from baseline")
+        return False
+    print(f"ok interrupt+resume: SIGTERM after {done} journaled points, "
+          "resume completed the rest, records bit-identical")
+    return True
+
+
+def check_worker_hang(tmp: Path, env: dict, baseline: str) -> bool:
+    out = tmp / "hung.json"
+    env = dict(env, REPRO_HARNESS_CHAOS=f"worker_hang@2:{tmp}/hang-markers")
+    proc = run(
+        sweep_cmd("--jobs", "2", "--heartbeat-timeout", "1", "--out",
+                  str(out)),
+        env,
+    )
+    if proc.returncode != 0:
+        print(f"FAIL worker_hang: exit {proc.returncode}\n{proc.stderr}")
+        return False
+    if records_of(out) != baseline:
+        print("FAIL worker_hang: records diverged from baseline")
+        return False
+    print("ok worker_hang: silent worker terminated and retried, "
+          "records bit-identical")
+    return True
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--keep", action="store_true",
+                    help="keep the scratch directory for inspection")
+    args = ap.parse_args(argv)
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_HARNESS_CHAOS"}
+    env["PYTHONPATH"] = str(ROOT / "src")
+    tmp = Path(tempfile.mkdtemp(prefix="repro-interrupt-"))
+    try:
+        baseline = check_baseline(tmp, env)
+        if baseline is None:
+            return 1
+        failed = False
+        for check in (check_worker_kill, check_interrupt_resume,
+                      check_worker_hang):
+            if not check(tmp, env, baseline):
+                failed = True
+        return 1 if failed else 0
+    finally:
+        if args.keep:
+            print(f"scratch kept at {tmp}")
+        else:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

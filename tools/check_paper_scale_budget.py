@@ -8,7 +8,12 @@ meet:
 
 - graph build + freeze + validate completes in under ``--build-budget``
   seconds (default 60);
-- peak RSS stays under ``--rss-budget`` GiB (default 4).
+- peak RSS stays under ``--rss-budget`` GiB (default 4);
+- the run-guard deadline machinery (``--deadline`` on the ``hicma`` verb,
+  :class:`repro.supervise.guards.RunGuards`) aborts a guarded run with a
+  structured :class:`~repro.errors.RunBudgetExceeded` carrying a
+  diagnostic snapshot and salvaged partial stats — the smoke test for
+  supervising a real paper-scale run (skip with ``--no-deadline-smoke``).
 
 Results land in ``BENCH_scale.json`` next to the repo root (build seconds,
 peak RSS, tasks/flows, and — with ``--full`` — the end-to-end simulated
@@ -67,6 +72,41 @@ def build_check(nodes: int, tile: int) -> dict:
     }
 
 
+def deadline_smoke() -> "tuple[dict, list]":
+    """Prove the run guards abort structurally (small run, tight budgets).
+
+    Uses a deliberately small Cholesky so the smoke stays in the test
+    suite's budget; what it exercises — tick-hook guards, structured
+    abort, snapshot, partial-stats salvage — is scale-independent.
+    """
+    from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+    from repro.errors import RunBudgetExceeded
+    from repro.supervise import RunGuards
+
+    cfg = HicmaConfig(matrix_size=2048, tile_size=256, num_nodes=4)
+    problems = []
+    doc = {}
+    try:
+        run_hicma_benchmark(
+            "lci", cfg,
+            guards=RunGuards(deadline=3600.0, max_events=1000, check_every=256),
+        )
+        problems.append("guarded run finished: max_events guard never fired")
+    except RunBudgetExceeded as exc:
+        snap = exc.snapshot
+        if not snap or "reason" not in snap or "tasks_done" not in snap:
+            problems.append(f"abort snapshot incomplete: {sorted(snap)!r}")
+        if exc.partial is None or exc.partial.tasks_executed <= 0:
+            problems.append("abort carried no salvaged partial stats")
+        else:
+            doc = {
+                "reason": snap.get("reason"),
+                "partial_tasks": exc.partial.tasks_executed,
+                "events_processed": snap.get("events_processed"),
+            }
+    return doc, problems
+
+
 def full_run(nodes: int, tile: int) -> dict:
     """Simulate the paper-scale point end to end; return run metrics."""
     from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
@@ -106,6 +146,8 @@ def main(argv=None) -> int:
                     help="max peak RSS in GiB")
     ap.add_argument("--events-floor", type=float, default=50_000.0,
                     help="min kernel events/second for the --full run")
+    ap.add_argument("--no-deadline-smoke", action="store_true",
+                    help="skip the run-guard structured-abort smoke test")
     ap.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_scale.json"))
     args = ap.parse_args(argv)
@@ -129,6 +171,16 @@ def main(argv=None) -> int:
         f"+ validate {doc['validate_seconds']:.1f}), "
         f"peak RSS {doc['peak_rss_gib']:.2f} GiB"
     )
+
+    if not args.no_deadline_smoke:
+        smoke, smoke_problems = deadline_smoke()
+        problems.extend(smoke_problems)
+        if smoke:
+            doc["deadline_smoke"] = smoke
+            print(
+                f"deadline smoke: guarded run aborted structurally "
+                f"({smoke['reason']}; {smoke['partial_tasks']} tasks salvaged)"
+            )
 
     if args.full:
         run = full_run(args.nodes, args.tile)
