@@ -16,7 +16,9 @@ The package provides:
 - :mod:`repro.bench` / :mod:`repro.analysis` — the experiment harness that
   regenerates every figure and table of the paper's evaluation;
 - :mod:`repro.explore` — a schedule-space explorer that replays scenarios
-  under alternative legal interleavings and checks protocol invariants.
+  under alternative legal interleavings and checks protocol invariants;
+- :mod:`repro.workloads` — the workload plugin registry and the bundled
+  scenario suite (stencil, taskbench, ring, ... — see ``docs/workloads.md``).
 
 Quickstart::
 
@@ -30,6 +32,7 @@ from repro._version import __version__
 from repro.api import (
     BackendKind,
     Experiment,
+    GraphResult,
     HicmaResult,
     OverlapResult,
     PingPongResult,
@@ -48,6 +51,7 @@ __all__ = [
     "PingPongResult",
     "OverlapResult",
     "HicmaResult",
+    "GraphResult",
     "quick_compare",
     "run_pingpong",
     "run_overlap",

@@ -22,6 +22,7 @@ __all__ = [
     "fig4_table",
     "fig5_table",
     "pingpong_table",
+    "taskbench_table",
     "render_outcome",
 ]
 
@@ -108,9 +109,52 @@ def pingpong_table(outcome: SweepOutcome) -> str:
     )
 
 
+def _scenario_label(point) -> str:
+    """Compact per-point label for the taskbench table rows."""
+    p = point.params
+    if point.kind == "taskbench":
+        return f"taskbench {p['pattern']} {p['width']}x{p['depth']}"
+    if point.kind == "stencil":
+        return f"stencil {p['grid']}x{p['grid']} s{p['steps']}"
+    if point.kind == "forkjoin":
+        return f"forkjoin f{p['fanout']} d{p['depth']}"
+    keys = [k for k in sorted(p) if k not in ("seed", "num_nodes")][:2]
+    return point.kind + " " + " ".join(f"{k}={p[k]}" for k in keys)
+
+
+def taskbench_table(outcome: SweepOutcome) -> str:
+    """The scenario-suite comparison table: makespan per point, MPI vs
+    LCI side by side (the Task Bench-style rendering of the grid)."""
+    res = {}
+    for point, record in zip(outcome.spec.points, outcome.records):
+        if record is None:
+            continue
+        res[(point.backend, _scenario_label(point))] = record
+    labels = sorted({label for (_b, label) in res})
+    rows = []
+    for label in labels:
+        row = [label]
+        for backend in ("mpi", "lci"):
+            rec = res.get((backend, label))
+            row.append(f"{rec['makespan'] * 1e3:.3f}" if rec else "-")
+        mpi, lci = res.get(("mpi", label)), res.get(("lci", label))
+        if mpi and lci and mpi["makespan"] > 0:
+            gain = (mpi["makespan"] - lci["makespan"]) / mpi["makespan"]
+            row.append(f"{gain:+.1%}")
+        else:
+            row.append("-")
+        rows.append(tuple(row))
+    return ascii_table(
+        ["scenario", "MPI ms", "LCI ms", "LCI gain"],
+        rows,
+        title="taskbench: scenario-suite makespan, MPI vs LCI",
+    )
+
+
 def render_outcome(outcome: SweepOutcome) -> str:
     """Dispatch to the right table renderer for a named grid."""
-    renderers = {"fig4": fig4_table, "fig5": fig5_table, "pingpong": pingpong_table}
+    renderers = {"fig4": fig4_table, "fig5": fig5_table,
+                 "pingpong": pingpong_table, "taskbench": taskbench_table}
     renderer = renderers.get(outcome.spec.name)
     if renderer is None:
         raise SweepError(f"no table renderer for grid {outcome.spec.name!r}")

@@ -1,11 +1,16 @@
 """Top-level public API: one coherent experiment surface.
 
 :class:`Experiment` is the single entry point — a keyword-only builder
-naming a workload (``pingpong``/``overlap``/``hicma``), a backend
+naming any registered workload (see :func:`repro.workloads.workload_names`
+and the scenario catalog in ``docs/workloads.md``), a backend
 (:class:`BackendKind` or its string value, accepted uniformly), a node
 count, a seed, an optional fault plan, and workload-specific parameters.
 ``.run()`` returns a typed frozen result dataclass
-(:class:`PingPongResult`/:class:`OverlapResult`/:class:`HicmaResult`).
+(:class:`PingPongResult`/:class:`OverlapResult`/:class:`HicmaResult` for
+the paper benchmarks, :class:`GraphResult` for the scenario workloads).
+Workloads resolve through the :mod:`repro.workloads` plugin registry, so
+external packages can contribute their own via the ``repro.workloads``
+entry-point group.
 
 The historical one-call helpers (``run_pingpong``/``run_overlap``/
 ``run_hicma``/``quick_compare``) remain as thin shims that emit
@@ -32,6 +37,7 @@ __all__ = [
     "PingPongResult",
     "OverlapResult",
     "HicmaResult",
+    "GraphResult",
     "quick_compare",
     "run_pingpong",
     "run_overlap",
@@ -139,26 +145,45 @@ class HicmaResult(Result):
         )
 
 
-#: Workload name -> (config module path, config class, driver function).
-_WORKLOADS = {
-    "pingpong": ("repro.bench.pingpong", "PingPongConfig", "run_pingpong_benchmark"),
-    "overlap": ("repro.bench.overlap", "OverlapConfig", "run_overlap_benchmark"),
-    "hicma": ("repro.bench.hicma_bench", "HicmaConfig", "run_hicma_benchmark"),
-}
+@dataclass(frozen=True)
+class GraphResult(Result):
+    """Outcome of a registered task-graph scenario workload.
+
+    The shared typed result of every catalog workload (``stencil``,
+    ``taskbench``, ``ring``, ...): the runtime's common measurements,
+    uniformly comparable across scenarios and backends.
+    """
+
+    activates_sent: int = 0
+    wire_bytes: int = 0
+    worker_utilization: float = 0.0
+    events_processed: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.workload}[{self.backend}]: "
+            f"{self.makespan * 1e3:.3f} ms, {self.tasks} tasks, "
+            f"{self.wire_bytes / 1e6:.1f} MB wire, "
+            f"utilization {self.worker_utilization:.1%}"
+        )
 
 
 class Experiment:
     """One fully described simulation experiment (keyword-only builder).
 
-    ``workload`` picks the benchmark; ``backend`` takes a
+    ``workload`` names any workload registered with
+    :mod:`repro.workloads` (the unknown-name :class:`~repro.errors.
+    ConfigError` lists what is actually registered); ``backend`` takes a
     :class:`BackendKind` or its string value; ``nodes``/``seed`` inject
     into the workload config; ``faults`` is a
     :class:`~repro.config.FaultConfig` or a named plan from
     :data:`~repro.faults.plans.FAULT_PLANS`; remaining keyword arguments
     are workload-config fields (e.g. ``fragment_size`` for ping-pong,
-    ``matrix_size``/``tile_size`` for HiCMA) and are validated eagerly
-    against the config dataclass — an unknown name raises
-    :class:`~repro.errors.ConfigError` at construction, not at run time.
+    ``width``/``depth``/``pattern`` for taskbench) and are validated
+    eagerly against the workload's parameter schema — an unknown name
+    raises :class:`~repro.errors.ConfigError` at construction, not at
+    run time.
     """
 
     def __init__(
@@ -171,11 +196,9 @@ class Experiment:
         faults: Any = None,
         **params: Any,
     ):
-        if workload not in _WORKLOADS:
-            raise ConfigError(
-                f"unknown workload {workload!r} "
-                f"(known: {', '.join(sorted(_WORKLOADS))})"
-            )
+        from repro.workloads import get_workload
+
+        self._spec = get_workload(workload)
         self.workload = workload
         self.backend = _normalize_backend(backend)
         self.nodes = nodes
@@ -188,37 +211,18 @@ class Experiment:
         self.params = dict(params)
         # Eager validation: building the config surfaces unknown or
         # invalid parameters immediately.
-        self._config_cls()(**self._config_kwargs())
-
-    def _config_cls(self):
-        modname, clsname, _fn = _WORKLOADS[self.workload]
-        module = __import__(modname, fromlist=[clsname])
-        return getattr(module, clsname)
-
-    def _driver(self):
-        modname, _cls, fnname = _WORKLOADS[self.workload]
-        module = __import__(modname, fromlist=[fnname])
-        return getattr(module, fnname)
+        self._spec.build_config(**self._config_kwargs())
 
     def _config_kwargs(self) -> dict:
-        import dataclasses
-
         kwargs = dict(self.params)
         kwargs["seed"] = self.seed
         if self.nodes is not None:
             kwargs["num_nodes"] = self.nodes
-        valid = {f.name for f in dataclasses.fields(self._config_cls())}
-        unknown = sorted(set(kwargs) - valid)
-        if unknown:
-            raise ConfigError(
-                f"workload {self.workload!r} does not accept parameter(s) "
-                f"{unknown}; valid: {sorted(valid)}"
-            )
         return kwargs
 
     def config(self):
         """The frozen workload config this experiment will run."""
-        return self._config_cls()(**self._config_kwargs())
+        return self._spec.build_config(**self._config_kwargs())
 
     def run(
         self,
@@ -226,57 +230,30 @@ class Experiment:
         platform=None,
         schedule_policy=None,
         ctx_observer=None,
+        progress=None,
+        guards=None,
     ) -> Result:
         """Execute the experiment and return its typed frozen result.
 
         ``platform`` overrides the scaled default platform;
         ``schedule_policy``/``ctx_observer`` pass through to the benchmark
         driver (see :func:`repro.bench.pingpong.run_pingpong_benchmark`).
+        ``progress``/``guards`` are accepted only by workloads declaring
+        ``accepts_progress`` (currently ``hicma``) — elsewhere a non-None
+        value raises :class:`~repro.errors.ConfigError` rather than
+        silently dropping a supervision request.
         """
-        raw = self._driver()(
+        raw = self._spec.run(
             self.backend,
             self.config(),
             platform,
             faults=self.faults,
             schedule_policy=schedule_policy,
             ctx_observer=ctx_observer,
+            progress=progress,
+            guards=guards,
         )
-        return self._freeze(raw)
-
-    def _freeze(self, raw) -> Result:
-        if self.workload == "pingpong":
-            return PingPongResult(
-                workload=self.workload,
-                backend=self.backend,
-                makespan=raw.makespan,
-                tasks=raw.tasks,
-                flow_latency=dict(raw.flow_latency),
-                bandwidth=raw.bandwidth,
-                iteration_times=tuple(raw.iteration_times),
-                activates_sent=raw.activates_sent,
-            )
-        if self.workload == "overlap":
-            return OverlapResult(
-                workload=self.workload,
-                backend=self.backend,
-                makespan=raw.makespan,
-                tasks=raw.tasks,
-                flow_latency=dict(raw.flow_latency),
-                flops_per_s=raw.flops_per_s,
-                total_flops=raw.total_flops,
-            )
-        return HicmaResult(
-            workload=self.workload,
-            backend=self.backend,
-            makespan=raw.time_to_solution,
-            tasks=raw.tasks,
-            flow_latency=dict(raw.flow_latency),
-            time_to_solution=raw.time_to_solution,
-            msg_latency=dict(raw.msg_latency),
-            activates_sent=raw.activates_sent,
-            wire_bytes=raw.wire_bytes,
-            worker_utilization=raw.worker_utilization,
-        )
+        return self._spec.freeze(raw, self.backend)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

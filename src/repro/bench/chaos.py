@@ -1,4 +1,4 @@
-"""Chaos benchmark: a small TLR Cholesky job under a named fault plan.
+"""Chaos benchmark: a workload under a named fault plan.
 
 Runs the same graph twice — once fault-free as the reference, once under the
 plan — on the same seed, then checks that the faulty run still *computed the
@@ -6,6 +6,11 @@ same thing*: every task executed and every (flow, destination) data arrival
 of the reference run happened in the faulty run too.  The report breaks the
 injected faults down per kind against the recovery counters the engine and
 the reliable transport emit on the obs bus.
+
+The default workload is the small TLR Cholesky job; ``workload=`` points
+the harness at any workload registered with :mod:`repro.workloads` — the
+graph comes from the spec's task-graph builder, so every catalog scenario
+(stencil, taskbench, ring, ...) runs under chaos plans unchanged.
 """
 
 from __future__ import annotations
@@ -24,7 +29,13 @@ __all__ = ["ChaosConfig", "ChaosResult", "run_chaos"]
 
 @dataclass(frozen=True)
 class ChaosConfig:
-    """One chaos-run configuration."""
+    """One chaos-run configuration.
+
+    ``workload`` names any registered workload; ``matrix_size``/
+    ``tile_size`` only apply to the default ``hicma`` workload, while
+    ``params`` overrides the workload's explore-scale defaults for every
+    other one.
+    """
 
     plan_name: str
     plan: FaultConfig
@@ -32,6 +43,8 @@ class ChaosConfig:
     tile_size: int = 1200
     num_nodes: int = 2
     seed: int = 0
+    workload: str = "hicma"
+    params: dict = field(default_factory=dict)
 
     @property
     def nt(self) -> int:
@@ -46,6 +59,8 @@ class ChaosResult:
     plan_name: str
     stats: RunStats
     ref_stats: RunStats
+    #: Which registered workload the chaos pair executed.
+    workload: str = "hicma"
     #: Injections per fault kind (``fault.injected.*`` counters).
     injected: dict = field(default_factory=dict)
     #: Recoveries credited per fault kind (``fault.recovered.*`` counters).
@@ -67,7 +82,7 @@ class ChaosResult:
 
     def summary(self) -> str:
         lines = [
-            f"chaos[{self.backend}] plan={self.plan_name}: "
+            f"chaos[{self.backend}] {self.workload} plan={self.plan_name}: "
             f"TTS={self.stats.makespan * 1e3:.3f} ms "
             f"(fault-free {self.ref_stats.makespan * 1e3:.3f} ms, "
             f"{self.slowdown:.2f}x), {self.stats.tasks_executed} tasks, "
@@ -97,13 +112,33 @@ def _arrivals(ctx: ParsecContext) -> set:
     }
 
 
+def _chaos_graph(cfg: ChaosConfig, platform):
+    """The task graph a chaos run executes.
+
+    The default ``hicma`` workload keeps its historical direct build
+    (bit-identical to pre-registry chaos runs); every other workload
+    resolves through the registry and builds from its explore-scale
+    parameters overlaid with ``cfg.params``.
+    """
+    if cfg.workload == "hicma":
+        return build_tlr_cholesky_graph(
+            cfg.nt, cfg.tile_size, num_nodes=cfg.num_nodes,
+            rank_model=RankModel(cfg.nt, cfg.tile_size),
+            time_model=KernelTimeModel(platform.compute),
+        )
+    from repro.workloads import get_workload
+
+    spec = get_workload(cfg.workload)
+    params = dict(spec.explore_params)
+    params.update(cfg.params)
+    params["num_nodes"] = cfg.num_nodes
+    params["seed"] = cfg.seed
+    return spec.build_graph(spec.build_config(**params), platform)
+
+
 def _one_run(cfg: ChaosConfig, backend: str, plan):
     platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=4)
-    graph = build_tlr_cholesky_graph(
-        cfg.nt, cfg.tile_size, num_nodes=cfg.num_nodes,
-        rank_model=RankModel(cfg.nt, cfg.tile_size),
-        time_model=KernelTimeModel(platform.compute),
-    )
+    graph = _chaos_graph(cfg, platform)
     ctx = ParsecContext(
         platform, backend=backend, seed=cfg.seed,
         observability=True, faults=plan,
@@ -143,6 +178,7 @@ def run_chaos(backend: str, cfg: ChaosConfig) -> ChaosResult:
     return ChaosResult(
         backend=backend,
         plan_name=cfg.plan_name,
+        workload=cfg.workload,
         stats=stats,
         ref_stats=ref_stats,
         injected=injected,

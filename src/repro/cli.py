@@ -2,11 +2,13 @@
 
 Commands
 --------
+``run``          run any registered workload (see ``docs/workloads.md``)
+``workloads``    list the registered workloads and their parameters
 ``pingpong``     run the §6.2 bandwidth benchmark for one fragment size
 ``overlap``      run the §6.3 overlap benchmark for one fragment size
 ``hicma``        run one §6.4 TLR Cholesky configuration
-``sweep``        run a named experiment grid (fig4 / fig5 / pingpong) in
-                 parallel through the cached sweep engine
+``sweep``        run a named experiment grid (fig4 / fig5 / pingpong /
+                 taskbench) in parallel through the cached sweep engine
 ``netpipe``      raw fabric ping-pong baseline for a list of sizes
 ``compare``      MPI vs LCI side-by-side on the ping-pong benchmark
 ``validate``     simulator self-checks against closed-form models
@@ -78,6 +80,52 @@ def _common_flags(
     return p
 
 
+def _param_value(text: str):
+    """Parse a workload-parameter value: int, float, bool, size, or str.
+
+    ``16`` → int, ``5e-6`` → float, ``true``/``false`` → bool, ``64K`` →
+    bytes, anything else (``stencil``, ``allreduce``) stays a string.
+    """
+    t = text.strip()
+    if t.lower() in ("true", "false"):
+        return t.lower() == "true"
+    try:
+        return int(t)
+    except ValueError:
+        pass
+    try:
+        return float(t)
+    except ValueError:
+        pass
+    try:
+        return _size(t)
+    except argparse.ArgumentTypeError:
+        pass
+    return t
+
+
+def _workload_param_flags() -> dict:
+    """Union of every registered workload's parameters, for the ``run``
+    verb: ``{field_name: one_line_doc}`` (excluding the common flags).
+
+    ``run`` exposes one ``--flag`` per name; which of them a given
+    workload accepts is validated by the workload's own parameter schema,
+    so a wrong flag produces the registry's "does not accept" error
+    listing the valid set.
+    """
+    from repro.workloads import workload_specs
+
+    flags: dict = {}
+    for spec in workload_specs():
+        # param_docs (not params()) so listing flags never imports the
+        # simulator — the docs are literal registration metadata.
+        for name, doc in spec.param_docs:
+            if name in ("num_nodes", "seed"):
+                continue
+            flags.setdefault(name, doc)
+    return flags
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -88,6 +136,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    from repro.faults.plans import FAULT_PLANS
+    from repro.workloads import workload_names
+
+    rn = sub.add_parser(
+        "run",
+        help="run any registered workload once and print its result "
+        "(see docs/workloads.md for the scenario catalog)",
+        parents=[_common_flags(backend="lci", seed=0)],
+    )
+    rn.add_argument("workload", choices=list(workload_names()),
+                    help="which registered workload to run")
+    rn.add_argument("--nodes", type=int, default=None,
+                    help="simulated node count (default: the workload's)")
+    rn.add_argument("--num-nodes", dest="nodes", type=int,
+                    default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    rn.add_argument("--faults", metavar="PLAN", default=None,
+                    choices=sorted(FAULT_PLANS),
+                    help="run under a named fault plan")
+    for name, doc in sorted(_workload_param_flags().items()):
+        rn.add_argument(f"--{name.replace('_', '-')}", dest=name,
+                        type=_param_value, default=argparse.SUPPRESS,
+                        metavar="V", help=doc)
+
+    wl = sub.add_parser(
+        "workloads",
+        help="list the registered workloads (name, description, parameters)",
+    )
+    wl.add_argument("--params", action="store_true",
+                    help="also list each workload's parameters and defaults")
 
     pp = sub.add_parser("pingpong", help="ping-pong bandwidth (Fig. 2)",
                         parents=[_common_flags(backend="lci", seed=0, nodes=2)])
@@ -142,7 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep engine and print its figure table",
         parents=[_common_flags(jobs=1)],
     )
-    sw.add_argument("grid", choices=["fig4", "fig5", "pingpong"],
+    sw.add_argument("grid", choices=["fig4", "fig5", "pingpong", "taskbench"],
                     help="which experiment grid to run")
     sw.add_argument("--no-cache", action="store_true",
                     help="simulate every point, ignore the result cache")
@@ -182,7 +260,6 @@ def build_parser() -> argparse.ArgumentParser:
     va.add_argument("--size", type=_size, default=_size("1M"))
 
     from repro.explore.scenarios import SCENARIO_KINDS
-    from repro.faults.plans import FAULT_PLANS
 
     ex = sub.add_parser(
         "explore",
@@ -228,14 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     ch = sub.add_parser(
         "chaos",
-        help="run a small TLR Cholesky job under a named fault plan and "
-        "report per-fault-kind injection/recovery counts",
+        help="run a workload under a named fault plan and report "
+        "per-fault-kind injection/recovery counts (default: a small "
+        "TLR Cholesky job)",
         parents=[_common_flags(backend="both", seed=0, nodes=2,
                                backend_choices=("mpi", "lci", "both"))],
     )
     ch.add_argument("--plan", choices=sorted(FAULT_PLANS), default="chaos")
-    ch.add_argument("--matrix", type=int, default=7200)
-    ch.add_argument("--tile", type=int, default=1200)
+    ch.add_argument("--workload", choices=list(workload_names()),
+                    default="hicma",
+                    help="which registered workload to run under the plan")
+    ch.add_argument("--matrix", type=int, default=7200,
+                    help="hicma workload only: matrix dimension")
+    ch.add_argument("--tile", type=int, default=1200,
+                    help="hicma workload only: tile size")
 
     sub.add_parser("info", help="print calibrated platform constants")
     return parser
@@ -255,6 +338,50 @@ def _progress_bus(args, kinds):
     bus = ObsBus(memory=False)
     bus.attach(StreamSink(stream=sys.stderr, kinds=kinds))
     return bus
+
+
+def cmd_run(args) -> int:
+    """Run one registered workload through :class:`~repro.api.Experiment`."""
+    from repro.api import Experiment
+    from repro.errors import ConfigError
+
+    params = {
+        name: getattr(args, name)
+        for name in _workload_param_flags()
+        if hasattr(args, name)
+    }
+    try:
+        result = Experiment(
+            workload=args.workload,
+            backend=args.backend,
+            nodes=args.nodes,
+            seed=args.seed,
+            faults=args.faults,
+            **params,
+        ).run()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    for key in ("flow_latency",):
+        stats = getattr(result, key, None)
+        if stats and stats.get("mean"):
+            print(f"  mean e2e latency: {stats['mean'] * 1e6:.2f} us")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """List every registered workload, optionally with its parameters."""
+    from repro.workloads import workload_specs
+
+    for spec in workload_specs():
+        print(f"{spec.name:<12} {spec.description}")
+        if args.params:
+            for param in spec.params():
+                default = "required" if param.required else repr(param.default)
+                print(f"    --{param.name.replace('_', '-'):<22} "
+                      f"[{default}] {param.doc}")
+    return 0
 
 
 def cmd_pingpong(args) -> int:
@@ -524,6 +651,7 @@ def cmd_chaos(args) -> int:
         tile_size=args.tile,
         num_nodes=args.nodes,
         seed=args.seed,
+        workload=args.workload,
     )
     backends = ["mpi", "lci"] if args.backend == "both" else [args.backend]
     ok = True
@@ -613,6 +741,8 @@ def cmd_validate(args) -> int:
 
 
 _COMMANDS = {
+    "run": cmd_run,
+    "workloads": cmd_workloads,
     "pingpong": cmd_pingpong,
     "overlap": cmd_overlap,
     "hicma": cmd_hicma,

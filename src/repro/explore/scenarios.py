@@ -1,9 +1,10 @@
 """Explorable scenarios: small, fast workload descriptions.
 
-A :class:`Scenario` names a workload (``pingpong``/``overlap``/``hicma``),
-a backend, a node count, a seed, an optional named fault plan, and
-workload-config overrides.  It serializes through the repo's canonical
-codec (:class:`~repro.codec.DictCodec`), which is what makes
+A :class:`Scenario` names a workload (any name registered with
+:mod:`repro.workloads` — the paper benchmarks plus the whole scenario
+catalog), a backend, a node count, a seed, an optional named fault plan,
+and workload-config overrides.  It serializes through the repo's
+canonical codec (:class:`~repro.codec.DictCodec`), which is what makes
 ``schedule.json`` replayable: the scenario document plus a decision list
 fully determines a run.
 
@@ -28,19 +29,49 @@ from repro.explore.invariants import (
 )
 from repro.faults.plans import fault_plan
 
-__all__ = ["SCENARIO_KINDS", "Scenario", "default_scenario", "run_scenario"]
+__all__ = ["scenario_kinds", "SCENARIO_KINDS", "Scenario",
+           "default_scenario", "run_scenario"]
 
-#: Workloads the explorer can drive.
-SCENARIO_KINDS = ("pingpong", "overlap", "hicma")
 
-#: Small-but-non-trivial defaults per workload: a few hundred events per
-#: run, so hundreds of schedules stay interactive.
-_DEFAULT_PARAMS = {
-    "pingpong": {"fragment_size": 256 * 1024, "total_bytes": 1024 * 1024,
-                 "iterations": 3},
-    "overlap": {"fragment_size": 1024 * 1024, "total_bytes": 4 * 1024 * 1024},
-    "hicma": {"matrix_size": 3600, "tile_size": 1200},
-}
+def scenario_kinds() -> tuple:
+    """Workloads the explorer can drive: every registered workload,
+    including any plugins registered since import."""
+    from repro.workloads import workload_names
+
+    return workload_names()
+
+
+def _spec_of(workload: str):
+    """Resolve a workload, re-raising unknown names as ExploreError."""
+    from repro.errors import ConfigError
+    from repro.workloads import get_workload
+
+    try:
+        return get_workload(workload)
+    except ConfigError:
+        raise ExploreError(
+            f"unknown scenario workload {workload!r} "
+            f"(known: {', '.join(scenario_kinds())})"
+        ) from None
+
+
+class _ScenarioKinds(tuple):
+    """Registry-backed kind listing (kept for back-compat with the old
+    ``SCENARIO_KINDS`` constant): iteration/membership consult the live
+    registry, so workloads registered after import still count."""
+
+    def __iter__(self):
+        return iter(scenario_kinds())
+
+    def __contains__(self, item):
+        return item in scenario_kinds()
+
+    def __len__(self):
+        return len(scenario_kinds())
+
+
+#: Workloads the explorer can drive (live view over the registry).
+SCENARIO_KINDS = _ScenarioKinds()
 
 
 @dataclass(frozen=True)
@@ -61,11 +92,7 @@ class Scenario(DictCodec):
     params: dict = field(default_factory=dict)
 
     def __post_init__(self):
-        if self.workload not in SCENARIO_KINDS:
-            raise ExploreError(
-                f"unknown scenario workload {self.workload!r} "
-                f"(known: {', '.join(SCENARIO_KINDS)})"
-            )
+        _spec_of(self.workload)
         if self.backend not in ("mpi", "lci"):
             raise ExploreError(f"unknown backend {self.backend!r}")
         if self.nodes < 2:
@@ -82,15 +109,20 @@ class Scenario(DictCodec):
 
 def default_scenario(workload: str, backend: str = "lci", nodes: int = 2,
                      seed: int = 0, fault_plan: Optional[str] = None) -> Scenario:
-    """A scenario with the workload's small fast default parameters."""
-    if workload not in _DEFAULT_PARAMS:
-        raise ExploreError(
-            f"unknown scenario workload {workload!r} "
-            f"(known: {', '.join(SCENARIO_KINDS)})"
-        )
+    """A scenario with the workload's small fast default parameters.
+
+    The parameter overrides come from the workload spec's
+    ``explore_params`` — each registered workload declares a
+    small-but-non-trivial configuration so hundreds of schedules stay
+    interactive.
+    """
+    spec = _spec_of(workload)
+    params = dict(spec.explore_params)
+    # The Scenario's own nodes field wins over any explore_params hint.
+    params.pop("num_nodes", None)
     return Scenario(
         workload=workload, backend=backend, nodes=nodes, seed=seed,
-        fault_plan=fault_plan, params=dict(_DEFAULT_PARAMS[workload]),
+        fault_plan=fault_plan, params=params,
     )
 
 
@@ -145,26 +177,16 @@ def run_scenario(scenario: Scenario, policy=None) -> dict:
 
 
 def _dispatch(scenario: Scenario, faults, policy, observer):
-    """Build the workload config and run its benchmark driver."""
+    """Build the workload config and run its benchmark driver.
+
+    Resolves through the :mod:`repro.workloads` registry, so any
+    registered workload — including in-process plugins — is explorable.
+    """
+    spec = _spec_of(scenario.workload)
     params = dict(scenario.params)
     params["num_nodes"] = scenario.nodes
     params["seed"] = scenario.seed
-    common = {"faults": faults, "schedule_policy": policy,
-              "ctx_observer": observer}
-    if scenario.workload == "pingpong":
-        from repro.bench.pingpong import PingPongConfig, run_pingpong_benchmark
-
-        return run_pingpong_benchmark(
-            scenario.backend, PingPongConfig(**params), **common
-        )
-    if scenario.workload == "overlap":
-        from repro.bench.overlap import OverlapConfig, run_overlap_benchmark
-
-        return run_overlap_benchmark(
-            scenario.backend, OverlapConfig(**params), **common
-        )
-    from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
-
-    return run_hicma_benchmark(
-        scenario.backend, HicmaConfig(**params), **common
+    return spec.run(
+        scenario.backend, spec.build_config(**params),
+        faults=faults, schedule_policy=policy, ctx_observer=observer,
     )

@@ -82,27 +82,19 @@ def _record_of(result) -> dict:
 def execute_point(point: SweepPoint, progress=None) -> dict:
     """Run one sweep point's simulation and return its result record.
 
+    The point's kind resolves through the :mod:`repro.workloads` registry,
+    so any registered workload — builtin or scenario — sweeps identically.
     ``progress`` is an optional reporter with the
     :class:`~repro.obs.progress.ProgressReporter` install/finish contract;
-    it is forwarded to workloads that support run-progress heartbeats
-    (hicma) and is how supervised workers stay live during long points.
+    it is forwarded to workloads declaring ``accepts_progress`` (hicma)
+    and is how supervised workers stay live during long points.
     """
-    if point.kind == "hicma":
-        from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
+    from repro.workloads import get_workload
 
-        result = run_hicma_benchmark(
-            point.backend, HicmaConfig(**point.params), progress=progress
-        )
-    elif point.kind == "pingpong":
-        from repro.bench.pingpong import PingPongConfig, run_pingpong_benchmark
-
-        result = run_pingpong_benchmark(point.backend, PingPongConfig(**point.params))
-    elif point.kind == "overlap":
-        from repro.bench.overlap import OverlapConfig, run_overlap_benchmark
-
-        result = run_overlap_benchmark(point.backend, OverlapConfig(**point.params))
-    else:  # pragma: no cover - SweepPoint validates kinds
-        raise SweepError(f"unknown sweep point kind {point.kind!r}")
+    spec = get_workload(point.kind)
+    cfg = spec.build_config(**point.params)
+    kwargs = {"progress": progress} if spec.accepts_progress else {}
+    result = spec.run(point.backend, cfg, **kwargs)
     return _record_of(result)
 
 

@@ -1,9 +1,10 @@
 """Sweep specifications: points, grids, and content-address keys.
 
 A :class:`SweepPoint` is one experiment configuration — a workload kind
-(``hicma`` / ``pingpong`` / ``overlap``), a backend, and the workload's
-parameters.  A :class:`SweepSpec` is an ordered collection of points; order
-is part of the contract (per-point seeds and result lists follow it).
+(any name registered with :mod:`repro.workloads`), a backend, and the
+workload's parameters.  A :class:`SweepSpec` is an ordered collection of
+points; order is part of the contract (per-point seeds and result lists
+follow it).
 
 Everything environment-dependent is resolved *eagerly* when a grid is
 built — ``REPRO_PAPER_SCALE`` totals, matrix dimensions, platform cost
@@ -34,18 +35,18 @@ __all__ = [
     "fig4_grid",
     "fig5_grid",
     "pingpong_grid",
+    "taskbench_grid",
     "named_grid",
     "GRID_BUILDERS",
 ]
-
-_KINDS = ("hicma", "pingpong", "overlap")
 
 
 @dataclass(frozen=True)
 class SweepPoint:
     """One experiment configuration inside a sweep."""
 
-    #: Workload family: ``"hicma"``, ``"pingpong"``, or ``"overlap"``.
+    #: Workload kind: any registered workload name (``"hicma"``,
+    #: ``"taskbench"``, ...).
     kind: str
     #: Communication backend: ``"mpi"`` or ``"lci"``.
     backend: str
@@ -53,7 +54,9 @@ class SweepPoint:
     params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
+        from repro.workloads import workload_names
+
+        if self.kind not in workload_names():
             raise SweepError(f"unknown sweep point kind {self.kind!r}")
         if self.backend not in ("mpi", "lci"):
             raise SweepError(f"unknown backend {self.backend!r}")
@@ -221,10 +224,54 @@ def pingpong_grid(
     return SweepSpec(name="pingpong", points=tuple(points))
 
 
+def _scenario_point(kind: str, backend: str, **params) -> SweepPoint:
+    """A fully resolved point for a registered scenario workload.
+
+    Builds the workload's config (so defaults and validation happen
+    eagerly) and pins *every* field into the point's params, keeping the
+    content-address independent of later default changes.
+    """
+    from repro.workloads import get_workload
+
+    cfg = get_workload(kind).build_config(**params)
+    return SweepPoint(kind=kind, backend=backend, params=cfg.to_dict())
+
+
+def taskbench_grid() -> SweepSpec:
+    """The Task Bench-style scenario grid: width × depth × dependence
+    pattern on the ``taskbench`` workload, plus ``stencil`` and
+    ``forkjoin`` companion points, both backends.
+
+    Every point is CI-scale small (tens of tasks), so the whole grid runs
+    in seconds while still sweeping the latency-bound → compute-bound
+    axis the Task Bench methodology targets.
+    """
+    points = []
+    for backend in ("mpi", "lci"):
+        for pattern in ("stencil", "fft", "random"):
+            for width in (4, 8):
+                for depth in (4, 8):
+                    points.append(_scenario_point(
+                        "taskbench", backend,
+                        width=width, depth=depth, pattern=pattern,
+                        num_nodes=4,
+                    ))
+        for grid in (4, 8):
+            points.append(_scenario_point(
+                "stencil", backend, grid=grid, steps=4, num_nodes=4,
+            ))
+        for depth in (3, 4):
+            points.append(_scenario_point(
+                "forkjoin", backend, fanout=3, depth=depth, num_nodes=4,
+            ))
+    return SweepSpec(name="taskbench", points=tuple(points))
+
+
 GRID_BUILDERS = {
     "fig4": fig4_grid,
     "fig5": fig5_grid,
     "pingpong": pingpong_grid,
+    "taskbench": taskbench_grid,
 }
 
 

@@ -156,3 +156,49 @@ class TestNewCommands:
         else:
             header = out_path.read_text().splitlines()[0]
             assert header == "time,kind,node,key,info,phase,local_time"
+
+
+class TestRunVerb:
+    def test_run_catalog_workload(self, capsys):
+        assert main(["run", "chain", "--length", "6", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chain[lci]" in out and "6 tasks" in out
+
+    def test_run_taskbench_flags(self, capsys):
+        assert main([
+            "run", "taskbench", "--pattern", "fft", "--width", "4",
+            "--depth", "3", "--nodes", "2", "--backend", "mpi",
+        ]) == 0
+        assert "taskbench[mpi]" in capsys.readouterr().out
+
+    def test_run_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not_a_workload"])
+
+    def test_run_wrong_param_exits_2(self, capsys):
+        # --width exists (it is taskbench's) but chain does not accept it;
+        # the registry's schema error must surface, not a silent drop.
+        assert main(["run", "chain", "--width", "9"]) == 2
+        err = capsys.readouterr().err
+        assert "does not accept" in err and "width" in err
+
+    def test_run_under_fault_plan(self, capsys):
+        assert main(["run", "ring", "--steps", "4", "--nodes", "3",
+                     "--faults", "drop"]) == 0
+        assert "ring[lci]" in capsys.readouterr().out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pingpong", "hicma", "stencil", "taskbench"):
+            assert name in out
+
+    def test_workloads_params_listing(self, capsys):
+        assert main(["workloads", "--params"]) == 0
+        out = capsys.readouterr().out
+        assert "--fragment-size" in out and "[required]" in out
+        assert "--pattern" in out
+
+    def test_sweep_taskbench_grid_exists(self):
+        args = build_parser().parse_args(["sweep", "taskbench", "--jobs", "2"])
+        assert args.grid == "taskbench" and args.jobs == 2

@@ -310,7 +310,7 @@ class TestSupervisedSweep:
         assert bus.counter_totals().get("supervise.hung", 0) >= 1
 
     def test_deterministic_failure_burns_no_retries(self, tmp_path):
-        # An unknown parameter raises TypeError in the worker — retrying
+        # An unknown parameter raises ConfigError in the worker — retrying
         # cannot help, so exactly one attempt must be journaled per point.
         bad = SweepPoint(kind="pingpong", backend="mpi",
                          params={"nonsense_parameter": 1})
@@ -323,7 +323,8 @@ class TestSupervisedSweep:
         assert out.failed == 2 and out.retried == 0
         state = read_journal(journal)
         assert state.attempts == {0: 1, 1: 1}
-        assert "TypeError" in state.failed[0]
+        assert "ConfigError" in state.failed[0]
+        assert "does not accept parameter" in state.failed[0]
 
     def test_deterministic_failure_fails_fast_parallel(self, tmp_path):
         good = tiny_grid().points

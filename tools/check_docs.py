@@ -22,7 +22,17 @@ simulation):
    read from the AST), and every flag in ``REQUIRED_DOCUMENTED_FLAGS``
    must be mentioned in some checked page — so load-bearing flags (the
    supervision surface: ``--journal``, ``--resume``, ``--deadline``, ...)
-   cannot ship undocumented.
+   cannot ship undocumented.  The ``run`` verb generates one flag per
+   registered workload parameter at runtime, so its flag set is
+   reconstructed statically from the ``param_docs`` literals in
+   ``src/repro/workloads/*.py``.
+5. **Scenario catalog** — the workload names registered in
+   ``src/repro/workloads/*.py`` (``WorkloadSpec(name="...")`` literals)
+   and the ``## `name``` sections of ``docs/workloads.md`` must match
+   exactly in both directions, and every ``python -m repro run <name>``
+   command line in the docs must name a registered workload — so a new
+   workload cannot ship without a catalog entry and the catalog cannot
+   describe a workload that no longer exists.
 
 Usage:  python tools/check_docs.py    (exit 0 = clean, 1 = drift found)
 """
@@ -45,6 +55,12 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CODEREF = re.compile(r"`([A-Za-z0-9_/.-]+\.py)(?::([A-Za-z0-9_.]+))?`")
 _VERB = re.compile(r"python -m repro ([a-z][a-z0-9-]*)")
 _FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+_RUN_WORKLOAD = re.compile(r"python -m repro run ([A-Za-z0-9_-]+)")
+_CATALOG_HEADING = re.compile(r"^## `([A-Za-z0-9_]+)`$", re.M)
+
+#: The generated scenario catalog (checked against the registry sources).
+WORKLOADS_DOC = "docs/workloads.md"
+WORKLOADS_SRC = ROOT / "src" / "repro" / "workloads"
 
 #: Flags that must be documented somewhere in the checked pages — the
 #: supervised-execution surface (docs/robustness.md); a rename or removal
@@ -228,6 +244,88 @@ def cli_verb_flags() -> dict:
     return flags
 
 
+def _workload_spec_calls():
+    """Every ``WorkloadSpec(...)`` call in the bundled workload modules."""
+    for py in sorted(WORKLOADS_SRC.glob("*.py")):
+        tree = ast.parse(py.read_text())
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "WorkloadSpec":
+                yield node
+
+
+def registered_workloads() -> set[str]:
+    """Workload names registered by the tree, read statically from the
+    ``WorkloadSpec(name="...")`` literals in ``src/repro/workloads/``."""
+    names = set()
+    for call in _workload_spec_calls():
+        for kw in call.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+                names.add(kw.value.value)
+    return names
+
+
+def workload_param_names() -> set[str]:
+    """Every parameter name documented in a spec's ``param_docs`` literal.
+
+    The ``run`` verb generates one ``--flag`` per name at runtime; this is
+    the static reconstruction of that flag set.
+    """
+    names = set()
+    for call in _workload_spec_calls():
+        for kw in call.keywords:
+            if kw.arg != "param_docs" or not isinstance(
+                kw.value, (ast.Tuple, ast.List)
+            ):
+                continue
+            for elt in kw.value.elts:
+                if (
+                    isinstance(elt, (ast.Tuple, ast.List))
+                    and elt.elts
+                    and isinstance(elt.elts[0], ast.Constant)
+                ):
+                    names.add(elt.elts[0].value)
+    return names
+
+
+def check_workload_catalog(corpus: str) -> list[str]:
+    """Registry and scenario catalog must agree in both directions, and
+    every ``python -m repro run <name>`` in the docs must be runnable."""
+    errors = []
+    page = ROOT / WORKLOADS_DOC
+    if not page.exists():
+        return [f"scenario catalog missing: {WORKLOADS_DOC} "
+                "(run tools/gen_api_docs.py)"]
+    registered = registered_workloads()
+    documented = set(_CATALOG_HEADING.findall(page.read_text()))
+    for name in sorted(registered - documented):
+        errors.append(
+            f"workload {name!r} is registered but missing from "
+            f"{WORKLOADS_DOC} (run tools/gen_api_docs.py)"
+        )
+    for name in sorted(documented - registered):
+        errors.append(
+            f"{WORKLOADS_DOC} documents unknown workload {name!r} "
+            "(run tools/gen_api_docs.py)"
+        )
+    for name in sorted(set(_RUN_WORKLOAD.findall(corpus))):
+        if name.startswith("--"):
+            continue
+        if name not in registered:
+            errors.append(
+                f"docs invoke 'python -m repro run {name}' but no such "
+                "workload is registered"
+            )
+    return errors
+
+
 def check_command_flags(rel: str, text: str, verb_flags: dict) -> list[str]:
     """Flags on doc command lines must exist on the verb they are passed to."""
     errors = []
@@ -250,6 +348,12 @@ def main() -> int:
     errors: list[str] = []
     verbs = cli_verbs()
     verb_flags = cli_verb_flags()
+    # The run verb's per-workload parameter flags are generated at runtime
+    # from the registry; reconstruct them from the param_docs literals.
+    if "run" in verb_flags:
+        verb_flags["run"].update(
+            "--" + name.replace("_", "-") for name in workload_param_names()
+        )
     mentioned: set[str] = set()
     all_text = []
     for rel in PAGES:
@@ -275,6 +379,7 @@ def main() -> int:
     for verb in sorted(verbs - mentioned):
         errors.append(f"CLI verb {verb!r} is not documented in any checked page")
     corpus = "\n".join(all_text)
+    errors += check_workload_catalog(corpus)
     for verb, required in sorted(REQUIRED_DOCUMENTED_FLAGS.items()):
         for flag in required:
             if flag not in verb_flags.get(verb, set()):
