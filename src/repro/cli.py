@@ -19,9 +19,11 @@ Commands
 ``info``         print the calibrated platform constants
 
 Every verb spells the shared knobs identically — ``--backend``,
-``--seed``, ``--nodes``, ``--jobs`` — via a common parent parser
-(:func:`_common_flags`); old spellings (``--num-nodes``) remain as hidden
-aliases.
+``--seed``, ``--nodes``, ``--jobs``, ``--partitions`` — via a common
+parent parser (:func:`_common_flags`); old spellings (``--num-nodes``)
+remain as hidden aliases.  Verbs that cannot partition (``chaos``,
+``explore``) still take ``--partitions`` and reject it with a clear
+:class:`~repro.errors.ConfigError` instead of not knowing the flag.
 """
 
 from __future__ import annotations
@@ -55,12 +57,16 @@ def _common_flags(
     seed: Optional[int] = None,
     nodes: Optional[int] = None,
     jobs: Optional[int] = None,
+    partitions: bool = False,
     backend_choices: Sequence[str] = ("mpi", "lci"),
 ) -> argparse.ArgumentParser:
     """Parent parser for the flags every verb spells identically.
 
     Pass a default to include a flag on the verb; leave it ``None`` to
     omit it.  ``--num-nodes`` is kept as a hidden alias for ``--nodes``.
+    ``partitions=True`` adds ``--partitions`` (the partitioned PDES
+    engine; its default stays ``None`` = serial or the
+    ``REPRO_SIM_PARTITIONS`` environment default).
     """
     p = argparse.ArgumentParser(add_help=False)
     if backend is not None:
@@ -77,6 +83,12 @@ def _common_flags(
     if jobs is not None:
         p.add_argument("--jobs", type=int, default=jobs,
                        help="worker processes (1 = run in-process)")
+    if partitions:
+        p.add_argument("--partitions", type=int, default=None, metavar="P",
+                       help="run the partitioned PDES engine with P worker "
+                       "processes (default: serial, or "
+                       "$REPRO_SIM_PARTITIONS); results are bit-identical "
+                       "to serial execution")
     return p
 
 
@@ -144,7 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="run any registered workload once and print its result "
         "(see docs/workloads.md for the scenario catalog)",
-        parents=[_common_flags(backend="lci", seed=0)],
+        parents=[_common_flags(backend="lci", seed=0, partitions=True)],
     )
     rn.add_argument("workload", choices=list(workload_names()),
                     help="which registered workload to run")
@@ -181,7 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
     ov.add_argument("--total", type=_size, default=None)
 
     hc = sub.add_parser("hicma", help="TLR Cholesky (Fig. 4/5)",
-                        parents=[_common_flags(backend="lci", seed=0, nodes=4)])
+                        parents=[_common_flags(backend="lci", seed=0, nodes=4,
+                                               partitions=True)])
     hc.add_argument("--matrix", type=int, default=None,
                     help="matrix dimension N (default 36,000, or 360,000 "
                     "under REPRO_PAPER_SCALE=1)")
@@ -218,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a named experiment grid through the parallel, cached "
         "sweep engine and print its figure table",
-        parents=[_common_flags(jobs=1)],
+        parents=[_common_flags(jobs=1, partitions=True)],
     )
     sw.add_argument("grid", choices=["fig4", "fig5", "pingpong", "taskbench"],
                     help="which experiment grid to run")
@@ -265,7 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
         "explore",
         help="explore alternative schedules of a scenario and check "
         "protocol invariants (quiescence, matching, deadlock, invariance)",
-        parents=[_common_flags(backend="lci", seed=0, nodes=2, jobs=1)],
+        parents=[_common_flags(backend="lci", seed=0, nodes=2, jobs=1,
+                               partitions=True)],
     )
     ex.add_argument("scenario", nargs="?", choices=list(SCENARIO_KINDS),
                     default="pingpong",
@@ -309,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
         "per-fault-kind injection/recovery counts (default: a small "
         "TLR Cholesky job)",
         parents=[_common_flags(backend="both", seed=0, nodes=2,
+                               partitions=True,
                                backend_choices=("mpi", "lci", "both"))],
     )
     ch.add_argument("--plan", choices=sorted(FAULT_PLANS), default="chaos")
@@ -357,6 +372,7 @@ def cmd_run(args) -> int:
             nodes=args.nodes,
             seed=args.seed,
             faults=args.faults,
+            partitions=args.partitions,
             **params,
         ).run()
     except ConfigError as exc:
@@ -487,7 +503,19 @@ def cmd_hicma(args) -> int:
         from repro.supervise import RunGuards
 
         guards = RunGuards(deadline=args.deadline, max_events=args.max_events)
+    partitions = args.partitions
+    if partitions is None:
+        from repro.config import default_partitions
+
+        partitions = default_partitions()
     if args.native_put:
+        if partitions is not None:
+            print(
+                "error: --native-put drives the context directly and does "
+                "not support --partitions",
+                file=sys.stderr,
+            )
+            return 2
         platform = scaled_platform(num_nodes=cfg.num_nodes, cores_per_node=8)
         graph = build_tlr_cholesky_graph(
             cfg.nt, cfg.tile_size, num_nodes=cfg.num_nodes,
@@ -509,7 +537,7 @@ def cmd_hicma(args) -> int:
         return 0
     try:
         result = run_hicma_benchmark(args.backend, cfg, progress=progress,
-                                     guards=guards)
+                                     guards=guards, partitions=partitions)
     except SupervisionError as exc:
         return _report_abort(exc)
     print(result.summary())
@@ -569,6 +597,13 @@ def cmd_explore(args) -> int:
         write_schedule,
     )
 
+    if args.partitions is not None:
+        print(
+            "error: the schedule explorer drives event interleavings "
+            "in-process and does not support --partitions",
+            file=sys.stderr,
+        )
+        return 2
     if args.replay:
         scenario, record = replay_schedule(args.replay)
         violations = record["violations"]
@@ -644,6 +679,13 @@ def cmd_chaos(args) -> int:
     from repro.bench.chaos import ChaosConfig, run_chaos
     from repro.faults.plans import fault_plan
 
+    if args.partitions is not None:
+        print(
+            "error: fault injection consumes RNG streams in global send "
+            "order and is incompatible with --partitions",
+            file=sys.stderr,
+        )
+        return 2
     cfg = ChaosConfig(
         plan_name=args.plan,
         plan=fault_plan(args.plan),
@@ -700,6 +742,22 @@ def cmd_sweep(args) -> int:
             "streams": args.streams,
         }
     spec = named_grid(args.grid, **kwargs)
+    if args.partitions is not None:
+        # Stamp the engine selection onto every point.  Workloads without
+        # accepts_partitions fail their points loudly (ConfigError) rather
+        # than silently running serial; cache keys change only when the
+        # flag is actually set.
+        import dataclasses as _dc
+
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec(
+            name=spec.name,
+            points=tuple(
+                _dc.replace(p, partitions=args.partitions)
+                for p in spec.points
+            ),
+        )
     config = SweepConfig(
         jobs=args.jobs,
         cache_enabled=not args.no_cache,

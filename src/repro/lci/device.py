@@ -148,6 +148,20 @@ class LciDevice:
                 src_dev = self.world.devices[msg.src]
                 self.sim.call_later(ack, src_dev._push_hw, ("fin", p["sd"]))
                 return
+            if self.world.fabric.partitioned and msg.src != self.node:
+                # Partitioned mode: the sender may live in another process,
+                # so completions are delivery-driven — the receiver raises
+                # its CQE here (the wire handler and the serial kernel's
+                # separate CQE push share one timestamp with no possible
+                # intervening event), and the sender's FIN travels back as
+                # a barrier notice computed from the ``_fin`` payload hint
+                # (see repro.sim.partition).
+                p = msg.payload
+                if p.get("one_sided"):
+                    self._push_hw(("pcomp",) + p["pcomp"])
+                else:
+                    self._push_hw(("rcomp", p["rd"], p["data"]))
+                return
             # RDMA writes land directly in registered memory; the matching
             # hardware completion ("rcomp") is enqueued separately by the
             # sender at delivery time, so the wire message itself needs no
@@ -306,13 +320,21 @@ class LciDevice:
         op = _DirectOp(dst, tag, size, data, comp, user_ctx)
         self._send_ops[op.op_id] = op
         yield self.costs.direct_post
+        fabric = self.world.fabric
         payload = {"kind": "rdma", "one_sided": True}
+        deferred = fabric.partitioned and dst != self.node
         if self.faults.enabled:
             # Completion material travels with the message so the receiver
             # can raise both CQEs at actual delivery (see :meth:`_on_wire`).
             payload["sd"] = op.op_id
             payload["pcomp"] = (tag, size, self.node, data, remote_meta)
-        deliver = self.world.fabric.send(
+        elif deferred:
+            # Partitioned wire put: the receiver raises the pcomp at
+            # delivery and the FIN comes back as a barrier notice one
+            # hardware-ack latency after delivery.
+            payload["pcomp"] = (tag, size, self.node, data, remote_meta)
+            payload["_fin"] = (op.op_id, fabric.base_latency(dst, self.node))
+        deliver = fabric.send(
             WireMessage(
                 src=self.node,
                 dst=dst,
@@ -322,14 +344,14 @@ class LciDevice:
                 payload=payload,
             )
         )
-        if not self.faults.enabled:
+        if not self.faults.enabled and not deferred:
             peer = self.world.devices[dst]
             self.sim.call_later(
                 deliver - self.sim.now,
                 peer._push_hw,
                 ("pcomp", tag, size, self.node, data, remote_meta),
             )
-            ack = self.world.fabric.base_latency(dst, self.node)
+            ack = fabric.base_latency(dst, self.node)
             self.sim.call_later(
                 deliver - self.sim.now + ack, self._push_hw, ("fin", op.op_id)
             )
@@ -444,26 +466,35 @@ class LciDevice:
             op = self._send_ops.get(p["sd"])
             if op is None:
                 raise LciError(f"RTR for unknown direct send {p['sd']}")
+            fabric = self.world.fabric
+            data_payload = {"kind": "rdma", "rd": p["rd"], "sd": op.op_id, "data": op.payload}
+            deferred = fabric.partitioned and op.peer != self.node
+            if deferred and not self.faults.enabled:
+                data_payload["_fin"] = (
+                    op.op_id, fabric.base_latency(op.peer, self.node)
+                )
             data_msg = WireMessage(
                 src=self.node,
                 dst=op.peer,
                 size=op.size + _HEADER,
                 msg_class=MessageClass.DATA,
                 channel="lci",
-                payload={"kind": "rdma", "rd": p["rd"], "sd": op.op_id, "data": op.payload},
+                payload=data_payload,
             )
-            deliver = self.world.fabric.send(data_msg)
-            if not self.faults.enabled:
+            deliver = fabric.send(data_msg)
+            if not self.faults.enabled and not deferred:
                 # RDMA write: receiver CQE at delivery; sender CQE one wire
                 # latency later (hardware ack), both drained by progress.
-                # (In fault mode the receiver raises both at actual delivery.)
+                # (In fault mode the receiver raises both at actual delivery;
+                # in partitioned mode delivery raises the receiver CQE and
+                # the FIN rides a barrier notice.)
                 peer_dev = self.world.devices[op.peer]
                 self.sim.call_later(
                     deliver - self.sim.now,
                     peer_dev._push_hw,
                     ("rcomp", p["rd"], op.payload),
                 )
-                ack = self.world.fabric.base_latency(op.peer, self.node)
+                ack = fabric.base_latency(op.peer, self.node)
                 self.sim.call_later(deliver - self.sim.now + ack, self._push_hw, ("fin", op.op_id))
         else:  # pragma: no cover - defensive
             raise LciError(f"unknown protocol message {p['kind']!r}")

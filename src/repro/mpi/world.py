@@ -99,6 +99,9 @@ class MpiRank:
         self._inbox: deque[WireMessage] = deque()
         self._sends: dict[int, SendRequest] = {}
         self._rndv_recvs: dict[int, RecvRequest] = {}
+        # Partitioned mode: requests whose completion arrives as a barrier
+        # notice (keyed by req_id; see ``_apply_fin``).
+        self._pending_fin: dict[int, tuple[str, Request]] = {}
         self._waiters: list[Event] = []
         self._locked = False
         self._lock_queue: deque[Event] = deque()
@@ -361,12 +364,20 @@ class MpiRank:
         try:
             req = Request(self.sim)
             yield self.costs.rma_put_post
+            fabric = self.world.fabric
             wire_payload = {"kind": "rma_put", "size": size, "data": payload}
+            deferred = fabric.partitioned and dst != self.rank
             if self.faults.enabled:
                 # The request rides along so the target can schedule the
                 # origin-side completion at actual delivery (see _on_wire).
                 wire_payload["req"] = req
-            deliver = self.world.fabric.send(
+            elif deferred:
+                # Partitioned wire put: origin completion arrives as a
+                # barrier notice one ack latency after actual delivery.
+                ack = fabric.base_latency(dst, self.rank)
+                wire_payload["_fin"] = (req.req_id, ack)
+                self._pending_fin[req.req_id] = ("rma", req)
+            deliver = fabric.send(
                 WireMessage(
                     src=self.rank,
                     dst=dst,
@@ -376,9 +387,9 @@ class MpiRank:
                     payload=wire_payload,
                 )
             )
-            if not self.faults.enabled:
+            if not self.faults.enabled and not deferred:
                 # Remote completion detected by flush ≈ one ack latency later.
-                ack = self.world.fabric.base_latency(dst, self.rank)
+                ack = fabric.base_latency(dst, self.rank)
                 self.sim.call_later(
                     deliver - self.sim.now + ack, self._complete_rma, req
                 )
@@ -461,24 +472,38 @@ class MpiRank:
                     key=(sreq.dst, self.rank, sreq.tag), info=sreq.size,
                 )
             yield self.costs.rendezvous_ctrl + self.costs.post_request
-            deliver = self.world.fabric.send(
+            fabric = self.world.fabric
+            rdata_payload = {
+                "kind": "rdata",
+                "rreq": p["rreq"],
+                "size": sreq.size,
+                "data": sreq.payload,
+            }
+            deferred = fabric.partitioned and sreq.dst != self.rank
+            if deferred:
+                # Partitioned wire send: local completion is modelled at
+                # data delivery, which happens in the destination's
+                # partition — it comes back as a barrier notice (extra 0.0
+                # keeps the timestamp bit-identical to the serial kernel).
+                rdata_payload["_fin"] = (sreq.req_id, 0.0)
+                self._pending_fin[sreq.req_id] = ("send", sreq)
+            deliver = fabric.send(
                 WireMessage(
                     src=self.rank,
                     dst=sreq.dst,
                     size=sreq.size + _HEADER,
                     msg_class=MessageClass.DATA,
                     channel="mpi",
-                    payload={
-                        "kind": "rdata",
-                        "rreq": p["rreq"],
-                        "size": sreq.size,
-                        "data": sreq.payload,
-                    },
+                    payload=rdata_payload,
                 )
             )
-            # Local completion when the NIC has read the buffer; modelled at
-            # data delivery (a FIN would arrive one latency later — folded in).
-            self.sim.call_later(deliver - self.sim.now, self._complete_send, sreq)
+            if not deferred:
+                # Local completion when the NIC has read the buffer; modelled
+                # at data delivery (a FIN would arrive one latency later —
+                # folded in).
+                self.sim.call_later(
+                    deliver - self.sim.now, self._complete_send, sreq
+                )
         elif kind == "rdata":
             rreq = self._rndv_recvs.pop(p["rreq"], None)
             if rreq is None:
@@ -530,3 +555,16 @@ class MpiRank:
     def _complete_send(self, sreq: SendRequest) -> None:
         sreq._complete()
         self._notify()
+
+    def _apply_fin(self, ref: int) -> None:
+        """Apply a barrier FIN notice (partitioned mode).
+
+        ``ref`` is the ``req_id`` registered in ``_pending_fin`` when the
+        send/put was issued; the partition driver calls this at the exact
+        timestamp the serial kernel would have completed the request.
+        """
+        kind, req = self._pending_fin.pop(ref)
+        if kind == "send":
+            self._complete_send(req)
+        else:
+            self._complete_rma(req)

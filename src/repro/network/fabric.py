@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import warnings
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 from repro.config import NetworkConfig
 from repro.errors import NetworkError
@@ -22,9 +22,27 @@ from repro.obs.bus import NULL_BUS, ObsBus
 from repro.sim.core import Simulator
 from repro.units import US
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "PartitionFabric", "WireRecord", "partition_owner"]
 
 Handler = Callable[[WireMessage], None]
+
+
+def partition_owner(num_nodes: int, partitions: int) -> list[int]:
+    """Block ownership map: ``owner[node]`` = partition index.
+
+    Nodes are distributed in contiguous blocks (partition ``p`` owns ranks
+    ``[p*N/P, (p+1)*N/P)``), which keeps the paper's 2D block-cyclic HiCMA
+    neighbours mostly partition-local.  Every partition owns at least one
+    node; asking for more partitions than nodes is a configuration error.
+    """
+    if partitions < 1:
+        raise NetworkError(f"partitions must be >= 1 (got {partitions})")
+    if partitions > num_nodes:
+        raise NetworkError(
+            f"cannot split {num_nodes} node(s) across {partitions} "
+            f"partitions; each partition needs at least one node"
+        )
+    return [node * partitions // num_nodes for node in range(num_nodes)]
 
 
 class Fabric:
@@ -38,6 +56,11 @@ class Fabric:
 
     #: Delivery latency of a loopback (shared-memory) message.
     LOOPBACK_LATENCY = 0.4 * US
+
+    #: True on :class:`PartitionFabric`: wire sends are deferred to the
+    #: synchronization barrier and completions are delivery-driven.  The
+    #: communication libraries branch on this instead of isinstance checks.
+    partitioned = False
 
     def __init__(
         self,
@@ -198,3 +221,185 @@ class Fabric:
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise NetworkError(f"node {node} out of range [0, {self.num_nodes})")
+
+
+class WireRecord(NamedTuple):
+    """One deferred wire transmission, as exchanged between partitions.
+
+    The pickled unit of the PDES barrier protocol: everything a receiving
+    partition needs to eject the message at the destination NIC and
+    schedule its delivery handler bit-identically to the serial kernel.
+    The canonical global merge order is a *stable* sort by ``inject``
+    over the worker-order concatenation of outboxes: each outbox is in
+    its worker's send-call order, so exact-time ties replay in execution
+    order, not source-rank order.  ``seq`` (per source node) is carried
+    for diagnostics and notice bookkeeping.
+    """
+
+    #: Fabric injection time (``sim.now`` at the ``send()`` call).
+    inject: float
+    #: Source node rank.
+    src: int
+    #: Per-source-node send sequence number (canonical tie-break).
+    seq: int
+    #: Destination node rank.
+    dst: int
+    #: Wire arrival time at the destination NIC (tail departure + route
+    #: latency); receiver contention is charged by the destination
+    #: partition's ``eject`` in canonical order.
+    arrival: float
+    #: NIC tail-departure time at the source.
+    depart: float
+    #: Wire size in bytes.
+    size: int
+    #: ``MessageClass`` value (int, pickle-stable).
+    msg_class: int
+    #: Library channel (``"mpi"`` / ``"lci"``).
+    channel: str
+    #: Opaque library payload (must be picklable in partitioned mode).
+    payload: object
+
+
+class PartitionFabric(Fabric):
+    """Fabric for one partition worker of a conservative-sync PDES run.
+
+    The worker owns a contiguous block of node ranks (``owner`` maps every
+    rank to its partition).  Loopback messages never touch NICs or the
+    wire and stay on the serial fast path; **every** wire send — including
+    one whose destination happens to live in this partition — is charged
+    at the source NIC immediately but *deferred* as a :class:`WireRecord`
+    into :attr:`outbox` instead of being delivery-scheduled.  The barrier
+    exchange merges all partitions' records in canonical ``(inject, src,
+    seq)`` order and hands each destination partition its slice through
+    :meth:`apply_delivery`, which ejects at the destination NIC and
+    schedules the handler at exactly the serial kernel's event time
+    (``inject + (deliver - inject)`` — the same float arithmetic as the
+    serial ``call_later(deliver - now)`` path).
+
+    Fault injection is not supported: the fault engine consumes its RNG
+    streams in global send order, which no partitioning can reproduce.
+    """
+
+    partitioned = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        cfg: Optional[NetworkConfig] = None,
+        obs: Optional[ObsBus] = None,
+        faults=None,
+        *,
+        owner: Optional[list[int]] = None,
+        local_partition: int = 0,
+    ):
+        super().__init__(sim, num_nodes, cfg, obs, faults)
+        if self._rel is not None:
+            raise NetworkError(
+                "fault injection is incompatible with partitioned execution "
+                "(fault RNG streams are consumed in global send order)"
+            )
+        self.owner = list(owner) if owner is not None else [0] * num_nodes
+        if len(self.owner) != num_nodes:
+            raise NetworkError(
+                f"ownership map covers {len(self.owner)} nodes, "
+                f"fabric has {num_nodes}"
+            )
+        self.local_partition = local_partition
+        #: Deferred wire sends since the last barrier, in send order.
+        self.outbox: list[WireRecord] = []
+        self._src_seq = [0] * num_nodes
+
+    def owner_of(self, node: int) -> int:
+        """The partition index owning ``node``."""
+        self._check_node(node)
+        return self.owner[node]
+
+    def send(self, msg: WireMessage) -> float:
+        """Inject ``msg``; wire sends are deferred to the barrier.
+
+        Loopback returns the real delivery time (serial fast path); a wire
+        send returns ``nan`` — its delivery time is not knowable until the
+        destination partition ejects it in canonical order.  Partitioned-
+        aware callers never use the return value for wire messages.
+        """
+        self._check_node(msg.src)
+        self._check_node(msg.dst)
+        col = self._hcols.get(msg.channel)
+        handler = col[msg.dst] if col is not None else None
+        if handler is None:
+            raise NetworkError(
+                f"no handler for channel {msg.channel!r} at node {msg.dst}"
+            )
+        now = self.sim.now
+        msg.inject_time = now
+        if self.message_log is not None:  # obs-allow-adhoc
+            self.message_log.append(msg)  # obs-allow-adhoc
+        if msg.src == msg.dst:
+            # Loopback (zero-latency self-channel): partition-local by
+            # construction — it never reaches a NIC, so it neither enters
+            # the lookahead bound nor the barrier exchange.
+            deliver = now + self.LOOPBACK_LATENCY
+            msg.depart_time = now
+            msg.deliver_time = deliver
+            self._emit_wire(msg, now, deliver, now)
+            self.sim.call_later(deliver - now, handler, msg)
+            return deliver
+        depart = self.nics[msg.src].inject(now, msg.size, msg.msg_class)
+        arrival = depart + self.base_latency(msg.src, msg.dst)
+        msg.depart_time = depart
+        msg.deliver_time = math.nan
+        seq = self._src_seq[msg.src]
+        self._src_seq[msg.src] = seq + 1
+        self.outbox.append(WireRecord(
+            inject=now, src=msg.src, seq=seq, dst=msg.dst, arrival=arrival,
+            depart=depart, size=msg.size, msg_class=int(msg.msg_class),
+            channel=msg.channel, payload=msg.payload,
+        ))
+        self._emit_wire(msg, depart, math.nan, now)
+        return math.nan
+
+    def take_outbox(self) -> list[WireRecord]:
+        """Drain and return the deferred sends since the last barrier."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def eject_delivery(
+        self, rec: WireRecord
+    ) -> tuple[WireMessage, float, float, Handler]:
+        """Eject one merged record at its destination NIC.
+
+        Must be called in canonical (coordinator-merged) order across
+        *all* records destined to this partition — receiver-contention
+        state (``NicState.eject``) is order-sensitive, and the merge
+        order replays the serial kernel's send-call order.  Returns
+        ``(msg, deliver, when, handler)``: the reconstructed message, its
+        NIC delivery time, the exact event time to schedule the handler
+        at, and the handler itself.  Scheduling is the *caller's* job —
+        the partition driver defers all insertions so that equal-time
+        events enter the heap in the serial kernel's scheduling order.
+        """
+        msg = WireMessage(
+            src=rec.src, dst=rec.dst, size=rec.size,
+            msg_class=MessageClass(rec.msg_class), payload=rec.payload,
+            channel=rec.channel,
+        )
+        msg.inject_time = rec.inject
+        msg.depart_time = rec.depart
+        deliver = self.nics[rec.dst].eject(
+            rec.inject, rec.arrival, rec.size, msg.msg_class
+        )
+        msg.deliver_time = deliver
+        handler = self._hcols[rec.channel][rec.dst]
+        # Replicate the serial float arithmetic exactly: the serial kernel
+        # schedules via call_later(deliver - now), so the realised event
+        # time is inject + (deliver - inject), not the raw ``deliver``.
+        return msg, deliver, rec.inject + (deliver - rec.inject), handler
+
+    def apply_delivery(self, rec: WireRecord) -> tuple[WireMessage, float]:
+        """Eject one merged record and schedule its delivery handler
+        immediately (see :meth:`eject_delivery` for the ordering
+        contract and the deferred-scheduling variant)."""
+        msg, deliver, when, handler = self.eject_delivery(rec)
+        self.sim.call_at(when, handler, msg)
+        return msg, deliver

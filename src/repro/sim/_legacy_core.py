@@ -432,6 +432,29 @@ class Simulator:
         else:
             heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
 
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``when``.
+
+        Exact-timestamp twin of :meth:`call_later` (see the batched
+        kernel's docstring); kept API-identical so the legacy core stays a
+        drop-in A/B twin for the partitioned engine too.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"call_at in the past: {when!r} < now={self.now!r}"
+            )
+        self._seq += 1
+        if when == self.now:
+            self._ready.append((self._seq, None, fn, args))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, None, fn, args))
+
+    def next_event_time(self) -> float:
+        """Timestamp of the earliest pending entry (``inf`` when idle)."""
+        if self._ready:
+            return self.now
+        return self._heap[0][0] if self._heap else math.inf
+
     # -- public API ------------------------------------------------------
 
     def event(self) -> Event:

@@ -483,6 +483,37 @@ class Simulator:
         else:
             self._ready.append((self._seq, K_CALL, fn, args, None))
 
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``when``.
+
+        The exact-timestamp twin of :meth:`call_later`, for callers that
+        must hit a precomputed absolute time without the ``now + (when -
+        now)`` float round-trip — the partitioned engine injects remote
+        deliveries and completion notices this way so their event times
+        are bit-identical to the serial kernel's.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"call_at in the past: {when!r} < now={self.now!r}"
+            )
+        self._seq += 1
+        if when > self.now:
+            heapq.heappush(self._heap, (when, self._seq, K_CALL, fn, args, None))
+        else:
+            self._ready.append((self._seq, K_CALL, fn, args, None))
+
+    def next_event_time(self) -> float:
+        """Timestamp of the earliest pending entry (``inf`` when idle).
+
+        Current-time batch entries report ``now``; otherwise the heap head.
+        Only meaningful between :meth:`run` calls — the conservative-
+        synchronization coordinator polls this to compute the next safe
+        horizon.
+        """
+        if self._ready:
+            return self.now
+        return self._heap[0][0] if self._heap else math.inf
+
     # -- public API ------------------------------------------------------
 
     def event(self) -> Event:

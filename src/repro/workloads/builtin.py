@@ -216,5 +216,6 @@ HICMA = register(WorkloadSpec(
         ("tile_size", 1200),
     ),
     accepts_progress=True,
+    accepts_partitions=True,
     tags=("paper", "builtin"),
 ))

@@ -65,6 +65,7 @@ def run_graph_benchmark(
     ctx_observer: Any = None,
     progress: Any = None,
     guards: Any = None,
+    partitions: Any = None,
 ) -> GraphBenchResult:
     """Build ``builder(cfg, platform)`` and execute it on the runtime.
 
@@ -73,12 +74,33 @@ def run_graph_benchmark(
     ``guards`` follow :func:`repro.bench.hicma_bench.run_hicma_benchmark`.
     The default platform is the CI-scale cluster sized to the config's
     ``num_nodes``.
+
+    ``partitions`` (an ``int``, a :class:`~repro.config.PartitionConfig`,
+    or ``None`` for serial) selects the partitioned PDES engine — the run
+    shards simulated nodes across worker processes but produces
+    bit-identical measurements (see :mod:`repro.sim.partition`).
     """
-    from repro.analysis.stats import summarize
-    from repro.config import scaled_platform
+    from repro.config import as_partition_config, scaled_platform
     from repro.runtime.context import ParsecContext
 
+    pcfg = as_partition_config(partitions)
     platform = platform or scaled_platform(num_nodes=cfg.num_nodes)
+    if pcfg is not None:
+        from repro.sim.partition import run_partitioned_graph
+
+        stats = run_partitioned_graph(
+            builder,
+            backend,
+            cfg,
+            platform,
+            pcfg,
+            faults=faults,
+            schedule_policy=schedule_policy,
+            ctx_observer=ctx_observer,
+            progress=progress,
+            guards=guards,
+        )
+        return _graph_result(workload, backend, cfg, stats)
     graph = builder(cfg, platform)
     graph.validate(num_nodes=cfg.num_nodes)
     ctx = ParsecContext(
@@ -91,6 +113,16 @@ def run_graph_benchmark(
     if ctx_observer is not None:
         ctx_observer(ctx)
     stats = ctx.run(graph, until=36_000.0, progress=progress, guards=guards)
+    return _graph_result(workload, backend, cfg, stats)
+
+
+def _graph_result(
+    workload: str, backend: str, cfg: Any, stats: Any
+) -> GraphBenchResult:
+    """Flatten :class:`~repro.runtime.context.RunStats` into the raw
+    result record (shared by the serial and partitioned paths)."""
+    from repro.analysis.stats import summarize
+
     return GraphBenchResult(
         config=cfg,
         backend=backend,

@@ -16,7 +16,7 @@ from repro.network import Fabric
 from repro.runtime.comm_engine import TAG_PUT_COMPLETE
 from repro.runtime.lci_backend import LciBackend
 from repro.runtime.mpi_backend import MpiBackend
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB, MiB
 
 TAG_TEST = 7

@@ -7,7 +7,7 @@ from repro.config import NetworkConfig, scaled_platform
 from repro.network import Fabric, MessageClass, WireMessage
 from repro.runtime import ParsecContext, TaskGraph
 from repro.runtime.context import RunStats
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB, MiB, US
 
 

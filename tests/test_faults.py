@@ -17,7 +17,7 @@ from repro.faults import (
 from repro.lci.device import LciWorld
 from repro.network import Fabric, MessageClass, WireMessage
 from repro.obs import ObsBus
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.sim.rng import RngStreams
 
 

@@ -13,7 +13,7 @@ from repro.lci import LciWorld, CompletionQueue, LCI_OK, LCI_ERR_RETRY
 from repro.config import LciCosts
 from repro.network import Fabric
 from repro.runtime import ParsecContext, TaskGraph
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB, MiB
 
 

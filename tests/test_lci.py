@@ -13,7 +13,7 @@ from repro.lci import (
     Synchronizer,
 )
 from repro.network import Fabric
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB, MiB
 
 
@@ -327,7 +327,7 @@ class TestRxPacketDepletion:
 
     def test_am_queue_stalls_then_drains_after_free(self):
         from repro.obs import ObsBus
-        from repro.sim import Simulator
+        from repro.sim.core import Simulator
 
         sim = Simulator()
         fabric = Fabric(sim, 2)

@@ -8,7 +8,7 @@ from repro.mpi import ANY_SOURCE, MpiWorld
 from repro.mpi.matching import Envelope, MatchEngine
 from repro.mpi.requests import RecvRequest
 from repro.network import Fabric
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB, MiB
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.mpi import MpiWorld
 from repro.mpi.collectives import allreduce, barrier, bcast
 from repro.network import Fabric
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 
 
 def make_world(n):

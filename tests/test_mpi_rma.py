@@ -8,7 +8,7 @@ from repro.errors import MpiError, RuntimeBackendError
 from repro.mpi import MpiWorld
 from repro.network import Fabric
 from repro.runtime import ParsecContext, TaskGraph
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB, MiB
 
 

@@ -6,7 +6,7 @@ from repro.config import NetworkConfig
 from repro.errors import NetworkError
 from repro.network import Fabric, FatTreeTopology, MessageClass, NicState, WireMessage
 from repro.network.netpipe import netpipe_bandwidth_curve, netpipe_rtt
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB, MiB, US, gbit_per_s
 
 

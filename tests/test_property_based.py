@@ -11,7 +11,8 @@ from repro.hicma.dag import build_tlr_cholesky_graph, expected_task_count
 from repro.mpi.matching import Envelope, MatchEngine
 from repro.mpi.requests import RecvRequest
 from repro.runtime.node import binomial_tree
-from repro.sim import Simulator, Store, PriorityStore
+from repro.sim.core import Simulator
+from repro.sim.primitives import Store, PriorityStore
 from repro.units import bytes_per_s_from_gbit, gbit_per_s
 
 

@@ -10,7 +10,7 @@ from repro.runtime.scheduler import (
     WorkStealingScheduler,
     make_scheduler,
 )
-from repro.sim import Simulator
+from repro.sim.core import Simulator
 from repro.units import KiB
 
 

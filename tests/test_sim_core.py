@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Simulator, Interrupt
+from repro.sim.core import Simulator, Interrupt
 
 
 def test_timeout_advances_time():

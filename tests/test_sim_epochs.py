@@ -12,7 +12,7 @@ import os
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import PARK, Simulator
+from repro.sim.core import PARK, Simulator
 from repro.sim.core import K_CALL, K_RESUME, SchedulePolicy
 
 #: The ready-entry *shape* differs between the cores (the legacy kernel

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Simulator, Store, PriorityStore, Resource, Semaphore, Latch
+from repro.sim.core import Simulator
+from repro.sim.primitives import Store, PriorityStore, Resource, Semaphore, Latch
 
 
 @pytest.fixture()

@@ -12,9 +12,16 @@ and compares the two cores on identical workloads:
   fingerprint (makespan, task/event counts, wire bytes, and a SHA-256
   over every emitted obs event) is **bit-identical** across cores, and
   reports the full-stack events/second delta.
+- **partition** — a catalog workload run serially and under the
+  partitioned PDES engine (``partitions`` ∈ {2, 4}); asserts the
+  SHA-256 fingerprint of the complete typed result (every field except
+  the kernel event count, which partitioning changes by construction)
+  is **bit-identical** per partition count, and reports min-of-N
+  events/second for each engine.
 
 Any fingerprint divergence exits 1 — the batched kernel's contract is
-"same execution, faster", and this harness is the enforcement.
+"same execution, faster", the partitioned engine's is "same results,
+more processes", and this harness is the enforcement.
 
 Run as::
 
@@ -96,10 +103,38 @@ def _run_stack(backend: str, layers: list) -> dict:
     }
 
 
+def _run_partition(backend: str, partitions, scale: dict) -> dict:
+    """One catalog-workload run, serial or partitioned, fingerprinted.
+
+    The fingerprint hashes the full typed result minus the kernel event
+    count: partitioned backends complete sends inline at delivery rather
+    than via separately scheduled events, so ``events_processed`` differs
+    from serial by construction while every simulated outcome must not.
+    """
+    import dataclasses
+
+    from repro.api import Experiment
+
+    t0 = time.perf_counter()
+    result = Experiment(
+        workload=scale["workload"], backend=backend, nodes=scale["nodes"],
+        seed=3, partitions=partitions, **scale["params"],
+    ).run()
+    wall = time.perf_counter() - t0
+    doc = dataclasses.asdict(result)
+    events = doc.pop("events_processed", 0)
+    digest = hashlib.sha256(
+        json.dumps(doc, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+    return {"fingerprint": digest, "events": events, "wall": wall}
+
+
 def _child_main(spec: dict) -> int:
     sys.path.insert(0, str(ROOT / "src"))
     if spec["workload"] == "micro":
         out = _run_micro(spec["events"])
+    elif spec["workload"] == "partition":
+        out = _run_partition(spec["backend"], spec["partitions"], spec["scale"])
     else:
         out = _run_stack(spec["backend"], spec["layers"])
     json.dump(out, sys.stdout)
@@ -150,8 +185,12 @@ def main(argv=None) -> int:
 
     if args.smoke:
         micro_events, layers, reps = 100_000, [3, 4, 4, 3], 1
+        scale = {"workload": "stencil", "nodes": 4,
+                 "params": {"grid": 4, "steps": 4}}
     else:
         micro_events, layers, reps = 2_000_000, [8, 12, 12, 12, 8], args.reps
+        scale = {"workload": "stencil", "nodes": 4,
+                 "params": {"grid": 16, "steps": 16}}
     backends = ["mpi", "lci"] if args.backend == "both" else [args.backend]
     failed = False
 
@@ -185,6 +224,33 @@ def main(argv=None) -> int:
             f"legacy {events / walls['legacy']:,.0f} ev/s, "
             f"batched {events / walls['batched']:,.0f} ev/s "
             f"-> {walls['legacy'] / walls['batched']:.2f}x"
+        )
+
+    for backend in backends:
+        base = {"workload": "partition", "backend": backend, "scale": scale}
+        runs = [_spawn("batched", dict(base, partitions=None))
+                for _ in range(reps)]
+        serial = min(runs, key=lambda r: r["wall"])
+        line = (
+            f"serial {serial['events'] / serial['wall']:,.0f} ev/s"
+        )
+        for count in (2, 4):
+            runs = [_spawn("batched", dict(base, partitions=count))
+                    for _ in range(reps)]
+            part = min(runs, key=lambda r: r["wall"])
+            if part["fingerprint"] != serial["fingerprint"]:
+                failed = True
+                print(
+                    f"FAIL [{backend}] partitions={count}: result diverged "
+                    f"from serial:\n"
+                    f"  serial      {serial['fingerprint']}\n"
+                    f"  partitioned {part['fingerprint']}"
+                )
+                continue
+            line += f", P={count} {part['events'] / part['wall']:,.0f} ev/s"
+        print(
+            f"part   [{backend}] ({scale['workload']}, fingerprint "
+            f"{serial['fingerprint'][:12]}..., best of {reps}): {line}"
         )
 
     if failed:

@@ -68,6 +68,8 @@ WORKLOADS_SRC = ROOT / "src" / "repro" / "workloads"
 REQUIRED_DOCUMENTED_FLAGS = {
     "sweep": ("--journal", "--resume", "--out", "--heartbeat-timeout"),
     "hicma": ("--deadline", "--max-events"),
+    # The partitioned-PDES engine selector (docs/performance.md runbook).
+    "run": ("--partitions",),
 }
 
 
@@ -167,6 +169,7 @@ _COMMON_PARENT_FLAGS = {
     "seed": ("--seed",),
     "nodes": ("--nodes", "--num-nodes"),
     "jobs": ("--jobs",),
+    "partitions": ("--partitions",),
 }
 
 

@@ -11,17 +11,25 @@ consumed randomness outside the named RNG streams — exit 1.
 Also asserts the NULL-engine invariant: a run with ``faults=None`` and a run
 with a disabled plan produce identical fingerprints.
 
-Finally replays the bundled explore schedule
+Replays the bundled explore schedule
 (``tests/data/schedule_pingpong.json``) twice through the schedule
 explorer's :class:`ReplayPolicy`: the recorded decision sequence must
 drive the epoch-batched kernel to a violation-free run with a stable
 digest — the cross-subsystem proof that ``SchedulePolicy`` still sees
 the same runnable sets the schedule was recorded against.
 
+Finally checks the partitioned PDES engine's bit-identity contract: a
+4-node workload run serially and with ``partitions`` ∈ {1, 2, 4} must
+produce identical results field for field (``events_processed`` is
+excluded by construction — partitioned backends complete sends inline
+at delivery rather than via separately scheduled completion events, so
+the kernel event *count* differs while every observable outcome does
+not).
+
 Run as::
 
     python tools/check_fault_determinism.py [--backend mpi|lci|both]
-        [--plan NAME] [--schedule PATH]
+        [--plan NAME] [--schedule PATH] [--partition-workload NAME]
 """
 
 from __future__ import annotations
@@ -88,6 +96,41 @@ def check_schedule_replay(path: Path) -> list[str]:
     return problems
 
 
+PARTITION_COUNTS = (1, 2, 4)
+
+
+def partition_fingerprint(backend: str, workload: str, partitions) -> dict:
+    """Run a 4-node catalog workload; return its full comparable result.
+
+    ``events_processed`` is dropped: the partitioned engine applies
+    send completions inline at delivery time instead of scheduling
+    separate kernel events, so the event count differs from serial by
+    construction while every simulated outcome is identical.
+    """
+    import dataclasses
+
+    from repro.api import Experiment
+
+    result = Experiment(
+        workload=workload, backend=backend, nodes=4, seed=3,
+        partitions=partitions,
+    ).run()
+    doc = dataclasses.asdict(result)
+    doc.pop("events_processed", None)
+    return doc
+
+
+def check_partitions(backend: str, workload: str) -> list:
+    """Serial vs partitions ∈ {1,2,4} bit-identity; return problems."""
+    problems = []
+    serial = partition_fingerprint(backend, workload, None)
+    for count in PARTITION_COUNTS:
+        partitioned = partition_fingerprint(backend, workload, count)
+        for line in diff(serial, partitioned):
+            problems.append(f"  [partitions={count}]{line}")
+    return problems
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--backend", choices=["mpi", "lci", "both"], default="both")
@@ -95,6 +138,11 @@ def main(argv=None) -> int:
     ap.add_argument("--schedule", default=str(
         Path(__file__).resolve().parent.parent
         / "tests" / "data" / "schedule_pingpong.json"))
+    ap.add_argument(
+        "--partition-workload", default="stencil",
+        help="4-node catalog workload for the partitioned bit-identity "
+             "check (must not hit the same-timestamp cross-partition "
+             "tie limitation; see docs/performance.md)")
     args = ap.parse_args(argv)
     backends = ["mpi", "lci"] if args.backend == "both" else [args.backend]
     failed = False
@@ -127,6 +175,21 @@ def main(argv=None) -> int:
             print("\n".join(problems))
         else:
             print(f"ok [{backend}]: disabled plan is bit-identical to no plan")
+
+        problems = check_partitions(backend, args.partition_workload)
+        if problems:
+            failed = True
+            print(
+                f"FAIL [{backend}] workload={args.partition_workload!r}: "
+                f"partitioned run diverged from serial:"
+            )
+            print("\n".join(problems))
+        else:
+            counts = ", ".join(str(c) for c in PARTITION_COUNTS)
+            print(
+                f"ok [{backend}] workload={args.partition_workload!r}: "
+                f"partitions {{{counts}}} bit-identical to serial"
+            )
 
     problems = check_schedule_replay(Path(args.schedule))
     if problems:
