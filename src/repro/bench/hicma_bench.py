@@ -207,7 +207,7 @@ def run_hicma_benchmark(
 def _hicma_result(cfg: HicmaConfig, backend: str, stats) -> HicmaResult:
     """Flatten :class:`~repro.runtime.context.RunStats` into the raw
     result record (shared by the serial and partitioned paths)."""
-    return HicmaResult(
+    result = HicmaResult(
         config=cfg,
         backend=backend,
         time_to_solution=stats.makespan,
@@ -219,6 +219,12 @@ def _hicma_result(cfg: HicmaConfig, backend: str, stats) -> HicmaResult:
         worker_utilization=stats.worker_utilization,
         events_processed=stats.events_processed,
     )
+    # Partitioned runs attach sync-protocol telemetry as an undeclared
+    # attribute (kept out of dataclasses.asdict fingerprints).
+    sync = getattr(stats, "partition_sync", None)
+    if sync is not None:
+        result.partition_sync = sync
+    return result
 
 
 def best_tile_scan(

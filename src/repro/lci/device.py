@@ -61,6 +61,13 @@ class LciWorld:
         self.costs = costs or LciCosts()
         self.obs = obs if obs is not None else sim.obs
         self.devices = [LciDevice(self, node) for node in range(fabric.num_nodes)]
+        # Deferred wire sends carry their sender-side FIN as a ``_fin``
+        # payload hint; the fabric raises it here once the destination NIC
+        # resolves the delivery time.
+        fabric.register_fin_applier("lci", self._apply_fin)
+
+    def _apply_fin(self, node: int, ref: int) -> None:
+        self.devices[node]._push_hw(("fin", ref))
 
     @property
     def size(self) -> int:
@@ -148,24 +155,23 @@ class LciDevice:
                 src_dev = self.world.devices[msg.src]
                 self.sim.call_later(ack, src_dev._push_hw, ("fin", p["sd"]))
                 return
-            if self.world.fabric.partitioned and msg.src != self.node:
-                # Partitioned mode: the sender may live in another process,
-                # so completions are delivery-driven — the receiver raises
-                # its CQE here (the wire handler and the serial kernel's
-                # separate CQE push share one timestamp with no possible
-                # intervening event), and the sender's FIN travels back as
-                # a barrier notice computed from the ``_fin`` payload hint
-                # (see repro.sim.partition).
+            if self.world.fabric.defers_wire and msg.src != self.node:
+                # Deferred-ejection mode (serial epoch flush or partition
+                # barrier): the delivery time is only resolved at the
+                # destination NIC, so completions are delivery-driven —
+                # the receiver raises its CQE here, and the sender's FIN
+                # is raised from the ``_fin`` payload hint (the fabric's
+                # fin applier serially, a barrier notice when partitioned).
                 p = msg.payload
                 if p.get("one_sided"):
                     self._push_hw(("pcomp",) + p["pcomp"])
                 else:
                     self._push_hw(("rcomp", p["rd"], p["data"]))
                 return
-            # RDMA writes land directly in registered memory; the matching
-            # hardware completion ("rcomp") is enqueued separately by the
-            # sender at delivery time, so the wire message itself needs no
-            # software handling.
+            # Loopback RDMA lands directly in registered memory; the
+            # matching hardware completion ("rcomp") is enqueued separately
+            # by the sender at delivery time, so the wire message itself
+            # needs no software handling.
             return
         else:
             self._rx_proto.append(msg)
@@ -322,16 +328,16 @@ class LciDevice:
         yield self.costs.direct_post
         fabric = self.world.fabric
         payload = {"kind": "rdma", "one_sided": True}
-        deferred = fabric.partitioned and dst != self.node
+        deferred = fabric.defers_wire and dst != self.node
         if self.faults.enabled:
             # Completion material travels with the message so the receiver
             # can raise both CQEs at actual delivery (see :meth:`_on_wire`).
             payload["sd"] = op.op_id
             payload["pcomp"] = (tag, size, self.node, data, remote_meta)
         elif deferred:
-            # Partitioned wire put: the receiver raises the pcomp at
-            # delivery and the FIN comes back as a barrier notice one
-            # hardware-ack latency after delivery.
+            # Deferred wire put: the receiver raises the pcomp at the
+            # resolved delivery and the FIN comes back through the ``_fin``
+            # hint one hardware-ack latency after delivery.
             payload["pcomp"] = (tag, size, self.node, data, remote_meta)
             payload["_fin"] = (op.op_id, fabric.base_latency(dst, self.node))
         deliver = fabric.send(
@@ -468,7 +474,7 @@ class LciDevice:
                 raise LciError(f"RTR for unknown direct send {p['sd']}")
             fabric = self.world.fabric
             data_payload = {"kind": "rdma", "rd": p["rd"], "sd": op.op_id, "data": op.payload}
-            deferred = fabric.partitioned and op.peer != self.node
+            deferred = fabric.defers_wire and op.peer != self.node
             if deferred and not self.faults.enabled:
                 data_payload["_fin"] = (
                     op.op_id, fabric.base_latency(op.peer, self.node)
@@ -483,11 +489,11 @@ class LciDevice:
             )
             deliver = fabric.send(data_msg)
             if not self.faults.enabled and not deferred:
-                # RDMA write: receiver CQE at delivery; sender CQE one wire
-                # latency later (hardware ack), both drained by progress.
-                # (In fault mode the receiver raises both at actual delivery;
-                # in partitioned mode delivery raises the receiver CQE and
-                # the FIN rides a barrier notice.)
+                # Loopback RDMA write: receiver CQE at delivery; sender CQE
+                # one wire latency later (hardware ack), both drained by
+                # progress.  (In fault mode the receiver raises both at
+                # actual delivery; deferred wire sends raise the receiver
+                # CQE at the resolved delivery and the FIN via ``_fin``.)
                 peer_dev = self.world.devices[op.peer]
                 self.sim.call_later(
                     deliver - self.sim.now,

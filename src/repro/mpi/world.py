@@ -79,6 +79,13 @@ class MpiWorld:
         self.ranks = [
             MpiRank(self, rank) for rank in range(fabric.num_nodes)
         ]
+        # Deferred wire sends carry their source-side completion as a
+        # ``_fin`` payload hint; the fabric applies it through this hook
+        # once the destination NIC resolves the delivery time.
+        fabric.register_fin_applier("mpi", self._apply_fin)
+
+    def _apply_fin(self, node: int, ref: int) -> None:
+        self.ranks[node]._apply_fin(ref)
 
     @property
     def size(self) -> int:
@@ -99,8 +106,8 @@ class MpiRank:
         self._inbox: deque[WireMessage] = deque()
         self._sends: dict[int, SendRequest] = {}
         self._rndv_recvs: dict[int, RecvRequest] = {}
-        # Partitioned mode: requests whose completion arrives as a barrier
-        # notice (keyed by req_id; see ``_apply_fin``).
+        # Requests whose completion is delivery-driven (deferred wire
+        # sends, keyed by req_id; see ``_apply_fin``).
         self._pending_fin: dict[int, tuple[str, Request]] = {}
         self._waiters: list[Event] = []
         self._locked = False
@@ -366,14 +373,15 @@ class MpiRank:
             yield self.costs.rma_put_post
             fabric = self.world.fabric
             wire_payload = {"kind": "rma_put", "size": size, "data": payload}
-            deferred = fabric.partitioned and dst != self.rank
+            deferred = fabric.defers_wire and dst != self.rank
             if self.faults.enabled:
                 # The request rides along so the target can schedule the
                 # origin-side completion at actual delivery (see _on_wire).
                 wire_payload["req"] = req
             elif deferred:
-                # Partitioned wire put: origin completion arrives as a
-                # barrier notice one ack latency after actual delivery.
+                # Deferred wire put (serial epoch flush or partitioned
+                # barrier): origin completion is applied one ack latency
+                # after the resolved delivery via the ``_fin`` hint.
                 ack = fabric.base_latency(dst, self.rank)
                 wire_payload["_fin"] = (req.req_id, ack)
                 self._pending_fin[req.req_id] = ("rma", req)
@@ -479,12 +487,13 @@ class MpiRank:
                 "size": sreq.size,
                 "data": sreq.payload,
             }
-            deferred = fabric.partitioned and sreq.dst != self.rank
+            deferred = fabric.defers_wire and sreq.dst != self.rank
             if deferred:
-                # Partitioned wire send: local completion is modelled at
-                # data delivery, which happens in the destination's
-                # partition — it comes back as a barrier notice (extra 0.0
-                # keeps the timestamp bit-identical to the serial kernel).
+                # Deferred wire send: local completion is modelled at data
+                # delivery, which is only resolved at ejection (the serial
+                # epoch flush, or the destination partition's barrier
+                # deliver) — it comes back through the ``_fin`` hint
+                # (extra 0.0 keeps the timestamp identical).
                 rdata_payload["_fin"] = (sreq.req_id, 0.0)
                 self._pending_fin[sreq.req_id] = ("send", sreq)
             deliver = fabric.send(
@@ -557,11 +566,12 @@ class MpiRank:
         self._notify()
 
     def _apply_fin(self, ref: int) -> None:
-        """Apply a barrier FIN notice (partitioned mode).
+        """Apply a deferred source-side completion (``_fin`` hint).
 
         ``ref`` is the ``req_id`` registered in ``_pending_fin`` when the
-        send/put was issued; the partition driver calls this at the exact
-        timestamp the serial kernel would have completed the request.
+        send/put was issued.  The serial fabric's epoch flush and the
+        partition driver's barrier notices both land here, at the same
+        timestamp by construction.
         """
         kind, req = self._pending_fin.pop(ref)
         if kind == "send":

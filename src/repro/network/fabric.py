@@ -9,6 +9,7 @@ constant memory-copy latency.
 from __future__ import annotations
 
 import math
+import operator
 import warnings
 from typing import Callable, NamedTuple, Optional
 
@@ -25,6 +26,14 @@ from repro.units import US
 __all__ = ["Fabric", "PartitionFabric", "WireRecord", "partition_owner"]
 
 Handler = Callable[[WireMessage], None]
+
+#: Sort key for the epoch flush buffer: ``(src, seq)``.  Seqs are unique
+#: per source, so tuple comparison never reaches the message object.
+_WIRE_KEY = operator.itemgetter(0, 1)
+
+#: Sort key for the coordinator's global outbox merge: the canonical
+#: ``(inject, src, seq)`` total order every engine replays.
+WIRE_MERGE_KEY = operator.attrgetter("inject", "src", "seq")
 
 
 def partition_owner(num_nodes: int, partitions: int) -> list[int]:
@@ -61,6 +70,17 @@ class Fabric:
     #: synchronization barrier and completions are delivery-driven.  The
     #: communication libraries branch on this instead of isinstance checks.
     partitioned = False
+
+    #: True when wire sends do not resolve a delivery time at the
+    #: ``send()`` call: destination-NIC ejection is deferred — to the end
+    #: of the injecting epoch on the serial fabric, to the barrier merge
+    #: on :class:`PartitionFabric` — and happens in canonical ``(inject,
+    #: src, seq)`` order, so equal-timestamp arrivals at one NIC resolve
+    #: identically in both engines.  ``send()`` returns ``nan`` for wire
+    #: messages and source-side completions are delivery-driven (the
+    #: ``_fin`` payload hint).  False only when the reliable transport
+    #: owns delivery scheduling (fault-injection mode).  Set per instance.
+    defers_wire = True
 
     def __init__(
         self,
@@ -100,8 +120,20 @@ class Fabric:
 
             self._rel: Optional[ReliableTransport] = ReliableTransport(self, self.faults)
             self.faults.bind(self)
+            self.defers_wire = False
         else:
             self._rel = None
+        #: Per-source-node wire-send sequence numbers: the third component
+        #: of the canonical ``(inject, src, seq)`` tie-break key stamped on
+        #: every deferred wire send.
+        self._src_seq = [0] * num_nodes
+        #: Wire sends of the current epoch awaiting destination-NIC
+        #: ejection: ``(src, seq, msg, arrival, handler)``, flushed in
+        #: ``(src, seq)`` order at epoch end (all share one inject time).
+        self._pending_wire: list = []
+        #: Per-channel source-side completion appliers (``fn(node, ref)``),
+        #: the serial twin of the partition driver's ``_fin_call``.
+        self._fin_appliers: dict[str, Callable[[int, int], None]] = {}
         #: Deprecated raw-WireMessage log — see :meth:`enable_message_log`.
         self.message_log: Optional[list[WireMessage]] = None  # obs-allow-adhoc
 
@@ -146,6 +178,20 @@ class Fabric:
             col = self._hcols[channel] = [None] * self.num_nodes
         col[node] = handler
 
+    def register_fin_applier(
+        self, channel: str, fn: Callable[[int, int], None]
+    ) -> None:
+        """Install ``fn(node, ref)`` applying a source-side completion.
+
+        Deferred wire sends carry their source-side completion as a
+        ``_fin = (ref, extra)`` payload hint; once the destination NIC
+        resolves the delivery time the fabric schedules ``fn(src, ref)``
+        at ``inject + ((deliver - inject) + extra)`` — the same float
+        arithmetic, and the same applier, the partition driver uses for
+        barrier FIN notices (``repro.sim.partition._fin_call``).
+        """
+        self._fin_appliers[channel] = fn
+
     def invalidate_route(self, src: int, dst: int) -> None:
         """Forget the cached base latency for one route (fault-engine hook:
         degraded/re-routed links change it)."""
@@ -168,6 +214,14 @@ class Fabric:
 
         The send itself is instantaneous for the caller — CPU injection
         overheads are charged by the *library* models, not the fabric.
+
+        Wire sends (``src != dst``, faults disabled) return ``nan``: the
+        source NIC is charged immediately, but destination-NIC ejection is
+        deferred to the end of the injecting epoch and performed in
+        canonical ``(inject, src, seq)`` order (see :meth:`_flush_epoch`),
+        so the delivery time is not knowable at the call.  Callers use the
+        delivery-driven ``_fin`` payload hint for source-side completions
+        instead of the return value — exactly as in partitioned mode.
         """
         self._check_node(msg.src)
         self._check_node(msg.dst)
@@ -187,18 +241,62 @@ class Fabric:
             # Loopback never touches the wire and stays on the fast path.
             return self._rel.send(msg, handler)
         if msg.src == msg.dst:
-            depart = now
             deliver = now + self.LOOPBACK_LATENCY
-        else:
-            depart = self.nics[msg.src].inject(now, msg.size, msg.msg_class)
-            arrival = depart + self.base_latency(msg.src, msg.dst)
-            deliver = self.nics[msg.dst].eject(now, arrival, msg.size, msg.msg_class)
+            msg.depart_time = now
+            msg.deliver_time = deliver
+            self._emit_wire(msg, now, deliver, now)
+            # Schedule the handler itself — no trampoline per delivery.
+            self.sim.call_later(deliver - now, handler, msg)
+            return deliver
+        depart = self.nics[msg.src].inject(now, msg.size, msg.msg_class)
+        arrival = depart + self.base_latency(msg.src, msg.dst)
         msg.depart_time = depart
-        msg.deliver_time = deliver
-        self._emit_wire(msg, depart, deliver, now)
-        # Schedule the handler itself — no trampoline frame per delivery.
-        self.sim.call_later(deliver - now, handler, msg)
-        return deliver
+        msg.deliver_time = math.nan
+        seq = self._src_seq[msg.src]
+        self._src_seq[msg.src] = seq + 1
+        if not self._pending_wire:
+            self.sim.at_epoch_end(self._flush_epoch)
+        self._pending_wire.append((msg.src, seq, msg, arrival, handler))
+        return math.nan
+
+    def _flush_epoch(self) -> None:
+        """Eject the epoch's wire sends at their destination NICs.
+
+        Runs at the end of the injecting epoch (``Simulator.at_epoch_end``)
+        with the clock still at the shared injection time.  Records are
+        ejected in ``(src, seq)`` order — with one inject time this *is*
+        the canonical ``(inject, src, seq)`` total order — so receiver-
+        contention bookkeeping (``NicState.eject`` is call-order-sensitive)
+        resolves equal-timestamp arrivals identically to the partitioned
+        engine's barrier merge.  For each record the delivery handler is
+        scheduled at ``inject + (deliver - inject)`` and any ``_fin``
+        payload hint becomes a source-side completion at ``inject +
+        ((deliver - inject) + extra)`` — both the exact float expressions
+        of the partition driver — in record order, delivery before fin, so
+        equal-fire-time heap ties also replay identically.
+        """
+        buf = self._pending_wire
+        self._pending_wire = []
+        buf.sort(key=_WIRE_KEY)
+        sim = self.sim
+        nics = self.nics
+        now = sim.now
+        for src, seq, msg, arrival, handler in buf:
+            deliver = nics[msg.dst].eject(
+                now, arrival, msg.size, msg.msg_class
+            )
+            msg.deliver_time = deliver
+            self._emit_wire(msg, msg.depart_time, deliver, now)
+            sim.call_at(now + (deliver - now), handler, msg)
+            payload = msg.payload
+            if type(payload) is dict:
+                fin = payload.get("_fin")
+                if fin is not None:
+                    ref, extra = fin
+                    sim.call_at(
+                        now + ((deliver - now) + extra),
+                        self._fin_appliers[msg.channel], src, ref,
+                    )
 
     def _emit_wire(self, msg: WireMessage, depart: float, deliver: float, now: float) -> None:
         """Emit the ``wire_msg`` event + fabric instruments for one send."""
@@ -229,11 +327,11 @@ class WireRecord(NamedTuple):
     The pickled unit of the PDES barrier protocol: everything a receiving
     partition needs to eject the message at the destination NIC and
     schedule its delivery handler bit-identically to the serial kernel.
-    The canonical global merge order is a *stable* sort by ``inject``
-    over the worker-order concatenation of outboxes: each outbox is in
-    its worker's send-call order, so exact-time ties replay in execution
-    order, not source-rank order.  ``seq`` (per source node) is carried
-    for diagnostics and notice bookkeeping.
+    The canonical global merge order is the ``(inject, src, seq)`` total
+    order (:data:`WIRE_MERGE_KEY`): the same key the serial fabric's
+    epoch flush replays, which is what makes equal-timestamp arrivals at
+    one destination NIC resolve identically in every engine regardless of
+    which partition observed which send.
     """
 
     #: Fabric injection time (``sim.now`` at the ``send()`` call).
@@ -306,9 +404,9 @@ class PartitionFabric(Fabric):
                 f"fabric has {num_nodes}"
             )
         self.local_partition = local_partition
-        #: Deferred wire sends since the last barrier, in send order.
+        #: Deferred wire sends since the last barrier, in send order
+        #: (``_src_seq`` lives on the base class).
         self.outbox: list[WireRecord] = []
-        self._src_seq = [0] * num_nodes
 
     def owner_of(self, node: int) -> int:
         """The partition index owning ``node``."""

@@ -411,6 +411,19 @@ class ParsecContext:
         if self._guards is not None:
             self._guards.finish()
             self._guards = None
+        if not self.stopped and any(
+            nd.rank == 0 for nd in self._owned_nodes()
+        ):
+            # Multi-partition runs detect global completion on the
+            # coordinator, so no single worker ever sees
+            # ``_executed >= _total_tasks``.  Retire the run-wide stop
+            # event here — in the rank-0 partition, exactly once — so
+            # the fleet processes the same kernel event set as the
+            # serial engine: one stop dispatch plus one wake-or-
+            # interrupt resume per parked thread.
+            self.stopped = True
+            self.stop_event.succeed()
+            self.sim.run()
         for node in self._owned_nodes():
             node.stop_threads()
         self.sim.run()  # drain remaining events (thread interrupts etc.)

@@ -374,7 +374,7 @@ class Simulator:
 
     __slots__ = (
         "now", "obs", "policy", "_heap", "_ready", "_seq", "_running",
-        "_event_count", "_tick_fn", "_tick_every",
+        "_event_count", "_tick_fn", "_tick_every", "_epoch_cbs",
     )
 
     def __init__(self, obs=None, policy: Optional[SchedulePolicy] = None) -> None:
@@ -385,6 +385,8 @@ class Simulator:
         #: disabled path costs one int compare against +inf per iteration.
         self._tick_fn: Optional[Callable[[int], None]] = None
         self._tick_every: int = 0
+        #: One-shot end-of-epoch callbacks (see :meth:`at_epoch_end`).
+        self._epoch_cbs: list = []
         #: Optional same-timestamp tie-break policy.  ``None`` (the default)
         #: keeps the original merged heap/ready fast path byte-for-byte; a
         #: policy routes :meth:`run` through :meth:`_run_policy` instead.
@@ -448,6 +450,17 @@ class Simulator:
             self._ready.append((self._seq, None, fn, args))
         else:
             heapq.heappush(self._heap, (when, self._seq, None, fn, args))
+
+    def at_epoch_end(self, fn: Callable[[], None]) -> None:
+        """Register a one-shot callback to run when the current epoch ends.
+
+        Behaviour-identical twin of the batched kernel's hook (see its
+        docstring): ``fn()`` fires once no more work is pending at the
+        current timestamp, before the clock advances or :meth:`run`
+        returns.  The serial fabric uses it to eject same-epoch wire sends
+        at destination NICs in canonical ``(inject, src, seq)`` order.
+        """
+        self._epoch_cbs.append(fn)
 
     def next_event_time(self) -> float:
         """Timestamp of the earliest pending entry (``inf`` when idle)."""
@@ -521,6 +534,7 @@ class Simulator:
         count = self._event_count
         tick_fn = self._tick_fn
         next_tick = count + self._tick_every if tick_fn is not None else math.inf
+        epoch_cbs = self._epoch_cbs
         try:
             while True:
                 if count >= next_tick:
@@ -547,6 +561,16 @@ class Simulator:
                         event._dispatch()
                     else:
                         fn(*args)
+                    continue
+                if epoch_cbs and (not heap or heap[0][0] > self.now):
+                    # The ``now`` epoch is exhausted (nothing ready, no
+                    # heap entry left at the current time): fire the
+                    # end-of-epoch callbacks, then re-check for work they
+                    # scheduled before advancing or breaking.
+                    todo = epoch_cbs[:]
+                    del epoch_cbs[:]
+                    for cb in todo:
+                        cb()
                     continue
                 if not heap:
                     if until is not None:
@@ -595,6 +619,7 @@ class Simulator:
         count = self._event_count
         tick_fn = self._tick_fn
         next_tick = count + self._tick_every if tick_fn is not None else math.inf
+        epoch_cbs = self._epoch_cbs
         try:
             while True:
                 if count >= next_tick:
@@ -604,6 +629,14 @@ class Simulator:
                     _w, seq, event, fn, args = heappop(heap)
                     ready.append((seq, event, fn, args))
                 if not ready:
+                    if epoch_cbs:
+                        # End of the ``now`` epoch: fire callbacks, then
+                        # re-check for work they scheduled.
+                        todo = epoch_cbs[:]
+                        del epoch_cbs[:]
+                        for cb in todo:
+                            cb()
+                        continue
                     if not heap:
                         if until is not None:
                             self.now = until

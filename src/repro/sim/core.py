@@ -436,7 +436,7 @@ class Simulator:
 
     __slots__ = (
         "now", "obs", "policy", "_heap", "_ready", "_seq", "_running",
-        "_event_count", "_tick_fn", "_tick_every",
+        "_event_count", "_tick_fn", "_tick_every", "_epoch_cbs",
     )
 
     def __init__(self, obs=None, policy: Optional[SchedulePolicy] = None) -> None:
@@ -447,6 +447,8 @@ class Simulator:
         #: disabled path costs one int compare against +inf per iteration.
         self._tick_fn: Optional[Callable[[int], None]] = None
         self._tick_every: int = 0
+        #: One-shot end-of-epoch callbacks (see :meth:`at_epoch_end`).
+        self._epoch_cbs: list = []
         #: Optional same-timestamp tie-break policy.  ``None`` (the default)
         #: keeps the epoch-batched fast path; a policy routes :meth:`run`
         #: through :meth:`_run_policy` instead.
@@ -501,6 +503,27 @@ class Simulator:
             heapq.heappush(self._heap, (when, self._seq, K_CALL, fn, args, None))
         else:
             self._ready.append((self._seq, K_CALL, fn, args, None))
+
+    def at_epoch_end(self, fn: Callable[[], None]) -> None:
+        """Register a one-shot callback to run when the current epoch ends.
+
+        ``fn()`` fires inside :meth:`run` at the first point where no more
+        work is pending at the current timestamp — after every entry of the
+        ``now`` epoch (including appends they make) has been dispatched,
+        and strictly before the clock advances or :meth:`run` returns.  A
+        callback may schedule new work (at ``now`` or later) and may
+        re-register itself; the loop re-checks for both before moving on.
+
+        This is the hook the serial :class:`~repro.network.fabric.Fabric`
+        uses to defer destination-NIC ejection to the end of the send's
+        epoch, so equal-timestamp wire sends eject in the canonical
+        ``(inject, src, seq)`` order — the same total order the partitioned
+        engine's barrier merge replays (see ``repro.sim.partition``).
+
+        Callbacks registered while no :meth:`run` is active fire at the end
+        of the first epoch of the next :meth:`run` call.
+        """
+        self._epoch_cbs.append(fn)
 
     def next_event_time(self) -> float:
         """Timestamp of the earliest pending entry (``inf`` when idle).
@@ -581,6 +604,7 @@ class Simulator:
         count = self._event_count
         tick_fn = self._tick_fn
         next_tick = count + self._tick_every if tick_fn is not None else math.inf
+        epoch_cbs = self._epoch_cbs
         pos = 0
         try:
             while True:
@@ -625,6 +649,17 @@ class Simulator:
                 if pos:
                     del batch[:]
                     pos = 0
+                if epoch_cbs:
+                    # The ``now`` epoch is exhausted (the inner heap drain
+                    # below never leaves same-time entries behind): run the
+                    # end-of-epoch callbacks before the clock can advance
+                    # or the loop can break, then re-check — callbacks may
+                    # schedule work at ``now`` or later.
+                    todo = epoch_cbs[:]
+                    del epoch_cbs[:]
+                    for cb in todo:
+                        cb()
+                    continue
                 if not heap:
                     if until is not None:
                         self.now = until
@@ -706,6 +741,7 @@ class Simulator:
         count = self._event_count
         tick_fn = self._tick_fn
         next_tick = count + self._tick_every if tick_fn is not None else math.inf
+        epoch_cbs = self._epoch_cbs
         try:
             while True:
                 if count >= next_tick:
@@ -714,6 +750,15 @@ class Simulator:
                 while heap and heap[0][0] <= self.now:
                     ready.append(heappop(heap)[1:])
                 if not ready:
+                    if epoch_cbs:
+                        # End of the ``now`` epoch (the drain above leaves
+                        # no runnable entries): fire the callbacks, then
+                        # re-check for work they scheduled.
+                        todo = epoch_cbs[:]
+                        del epoch_cbs[:]
+                        for cb in todo:
+                            cb()
+                        continue
                     if not heap:
                         if until is not None:
                             self.now = until

@@ -17,12 +17,12 @@ coordinator in the parent process over one pipe per worker:
    completion notices and run their heaps up to the global horizon
    ``H``; deferred wire sends accumulate as
    :class:`~repro.network.fabric.WireRecord` entries.
-2. ``sent`` ← each worker's outbox.  The coordinator stable-sorts the
-   worker-order concatenation by injection time — the canonical global
-   order.  Each outbox is already in its worker's send-call order, so
-   exact-timestamp ties replay in execution order (for one partition
-   this *is* the serial kernel's send order) — and buckets records by
-   the destination's owner.
+2. ``sent`` ← each worker's outbox.  The coordinator sorts the
+   concatenation by the canonical ``(inject, src, seq)`` total order —
+   the same key the serial fabric's end-of-epoch flush replays — and
+   buckets records by the destination's owner.  Same-timestamp ties
+   therefore resolve identically in both engines by construction,
+   without any partition having to observe global execution order.
 3. ``deliver(records)`` → each worker ejects its records at the
    destination NICs in canonical order (:meth:`PartitionFabric.
    eject_delivery`) and converts ``_fin`` payload hints into source-side
@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
 import signal
@@ -74,7 +75,7 @@ from repro.errors import (
     RuntimeBackendError,
     SupervisionError,
 )
-from repro.network.fabric import partition_owner
+from repro.network.fabric import WIRE_MERGE_KEY, partition_owner
 from repro.sim.core import Simulator
 
 __all__ = [
@@ -182,11 +183,66 @@ def _fin_call(ctx, channel: str, node: int, ref: int):
     raise RuntimeBackendError(f"unknown fin channel {channel!r}")
 
 
-def _worker_main(wid: int, job: dict, conn) -> None:
+class _PeerLost(Exception):
+    """A peer worker's pipe broke mid-exchange: the fleet is dying.
+
+    The worker exits silently — its coordinator pipe closes, the
+    coordinator sees EOF and treats the whole fleet as transiently dead
+    (:class:`_WorkerDied`), exactly as when the peer's own pipe closes.
+    """
+
+
+def _exchange(peers, payload):
+    """One all-to-all round over the pairwise worker pipes.
+
+    ``peers`` is this worker's row of the fleet's pipe matrix (``None``
+    at its own index, and ``None`` entirely for a single-worker fleet).
+    Sends ``payload`` to every peer, then returns the per-partition
+    payloads in partition-index order (own payload included) — every
+    worker sees the identical list, which is what lets each one replay
+    the same canonical merge the coordinator protocol computes
+    centrally.  Writes complete before any read: exchange payloads are
+    small (a window's records and completion notices), far below the
+    pipe buffer, so the write fan-out cannot deadlock.
+    """
+    if peers is None:
+        return [payload]
+    for conn in peers:
+        if conn is not None:
+            try:
+                conn.send(payload)
+            except (BrokenPipeError, OSError):
+                raise _PeerLost from None
+    gathered = []
+    for conn in peers:
+        if conn is None:
+            gathered.append(payload)
+        else:
+            try:
+                gathered.append(conn.recv())
+            except (EOFError, OSError):
+                raise _PeerLost from None
+    return gathered
+
+
+def _worker_main(wid: int, job: dict, conn, peer_rows=None) -> None:
     """One partition worker: build the world, then serve barrier rounds."""
     ctx = None
     workers = 0
     try:
+        peers = None
+        if peer_rows is not None:
+            # Own exactly one row of the fleet's pairwise-pipe matrix;
+            # close every other inherited endpoint so a dead peer's pipe
+            # reads EOF promptly instead of staying half-open here.
+            peers = peer_rows[wid]
+            for k, row in enumerate(peer_rows):
+                if k == wid:
+                    continue
+                for c in row:
+                    if c is not None:
+                        c.close()
+
         from repro.runtime.context import ParsecContext
 
         role = PartitionRole(
@@ -202,7 +258,12 @@ def _worker_main(wid: int, job: dict, conn) -> None:
         )
         workers = ctx.partition_prepare(graph, guards=job["guards"])
         sim, fabric = ctx.sim, ctx.fabric
-        conn.send(("ready", wid, lookahead_bound(fabric), graph.num_tasks))
+        lookahead = lookahead_bound(fabric)
+        conn.send(("ready", wid, lookahead, graph.num_tasks))
+        if job.get("lookahead_override") is not None:
+            # Same tightening the coordinator applies — both sides must
+            # compute bit-identical horizons.
+            lookahead = min(lookahead, job["lookahead_override"])
         chaos_at = _chaos_window(wid, job["attempt"])
         # Deferred heap insertions: ``(win, pos, sub, when, fn, args)``.
         # The serial kernel schedules a send's delivery handler and its
@@ -278,6 +339,103 @@ def _worker_main(wid: int, job: dict, conn) -> None:
                     # thread presents; surface the real exception.
                     ctx.partition_check_threads()
                 conn.send(("state", wid, t_next, foreign, ctx._executed))
+            elif tag == "batch":
+                # Self-synchronized batch: run up to ``quota`` windows
+                # exchanging records and completion notices directly
+                # with peer workers — the coordinator is only contacted
+                # once per batch.  Every step replays the classic
+                # advance/sent/deliver/state round bit for bit: same
+                # pending-insertion order, same canonical merge, same
+                # horizon formula — just without the central hop.
+                _, horizon, quota = msg
+                done = 0
+                quiescent = False
+                while True:
+                    pending.sort(key=lambda e: (e[0], e[1], e[2]))
+                    for _, _, _, when, fn, args in pending:
+                        sim.call_at(when, fn, *args)
+                    pending.clear()
+                    sim.windows_run += 1
+                    if chaos_at is not None and sim.windows_run == chaos_at:
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    if horizon is None:
+                        sim.run()
+                    else:
+                        sim.run(until=horizon)
+                    if sim._tick_fn is not None:
+                        sim._tick_fn(sim.events_processed)
+                    done += 1
+                    win = sim.windows_run
+                    boxes = _exchange(peers, fabric.take_outbox())
+                    records = [rec for box in boxes for rec in box]
+                    records.sort(key=WIRE_MERGE_KEY)
+                    out_fins = []
+                    for pos, rec in enumerate(records):
+                        if fabric.owner_of(rec.dst) != role.index:
+                            continue
+                        wire_msg, deliver, when, handler = (
+                            fabric.eject_delivery(rec)
+                        )
+                        pending.append(
+                            (win, pos, 0, when, handler, (wire_msg,))
+                        )
+                        payload = wire_msg.payload
+                        fin = (
+                            payload.get("_fin")
+                            if isinstance(payload, dict)
+                            else None
+                        )
+                        if fin is not None:
+                            ref, extra = fin
+                            fin_when = (
+                                rec.inject + ((deliver - rec.inject) + extra)
+                            )
+                            if fabric.owner_of(rec.src) == role.index:
+                                fn, args = _fin_call(
+                                    ctx, rec.channel, rec.src, ref
+                                )
+                                pending.append(
+                                    (win, pos, 1, fin_when, fn, args)
+                                )
+                            else:
+                                out_fins.append(
+                                    (fin_when, win, pos, rec.channel,
+                                     rec.src, ref)
+                                )
+                    t_next = sim.next_event_time()
+                    for entry in pending:
+                        if entry[3] < t_next:
+                            t_next = entry[3]
+                    if t_next == math.inf:
+                        ctx.partition_check_threads()
+                    states = _exchange(peers, (t_next, out_fins))
+                    lows = []
+                    for peer_t, peer_fins in states:
+                        lows.append(peer_t)
+                        for notice in peer_fins:
+                            # notice = (when, win, pos, channel, src, ref)
+                            lows.append(notice[0])
+                            if fabric.owner_of(notice[4]) == role.index:
+                                fn, args = _fin_call(
+                                    ctx, notice[3], notice[4], notice[5]
+                                )
+                                pending.append(
+                                    (notice[1], notice[2], 1, notice[0],
+                                     fn, args)
+                                )
+                    earliest = min(lows)
+                    if earliest == math.inf:
+                        quiescent = True
+                        break
+                    horizon = earliest + lookahead
+                    if horizon == math.inf:
+                        horizon = None  # single-node world
+                    if done >= quota:
+                        break
+                conn.send(
+                    ("batch-done", wid, done, ctx._executed, horizon,
+                     quiescent)
+                )
             elif tag == "stop":
                 frag = ctx.partition_finalize(workers)
                 conn.send(("fragment", wid, frag))
@@ -286,6 +444,11 @@ def _worker_main(wid: int, job: dict, conn) -> None:
                 raise RuntimeBackendError(
                     f"worker {wid}: unknown coordinator message {tag!r}"
                 )
+    except _PeerLost:
+        # A peer died mid-exchange: exit without a report.  The closed
+        # coordinator pipe (in ``finally``) reads as EOF there, which is
+        # the transient-fleet-failure signal that triggers the retry.
+        return
     except SupervisionError as exc:
         frag = None
         try:
@@ -331,7 +494,14 @@ class _WorkerDied(Exception):
 
 class _Progress:
     """Coordinator-side aggregate progress lines (partitioned runs have
-    no single in-process context for a reporter to install into)."""
+    no single in-process context for a reporter to install into).
+
+    Beats are counted here *and* mirrored onto the wrapped reporter's
+    ``beats`` attribute when it has one (e.g.
+    :class:`repro.obs.progress.ProgressReporter`), so callers that
+    gate on observed heartbeats see partitioned runs too.  ``final``
+    always emits — every partitioned run records at least one beat.
+    """
 
     def __init__(self, progress, total: int):
         self.enabled = bool(progress)
@@ -341,7 +511,20 @@ class _Progress:
             else 1.0
         )
         self.total = total
+        self.beats = 0
+        self._reporter = progress if progress is not True else None
         self._last = time.monotonic()
+
+    def _emit(self, sim_time: float, executed: int, windows: int) -> None:
+        self.beats += 1
+        if self._reporter is not None and hasattr(self._reporter, "beats"):
+            self._reporter.beats += 1
+        print(
+            f"[partitioned] t={sim_time:.6f}s "
+            f"tasks={executed}/{self.total} windows={windows}",
+            file=sys.stderr,
+            flush=True,
+        )
 
     def tick(self, sim_time: float, executed: int, windows: int) -> None:
         if not self.enabled:
@@ -350,12 +533,13 @@ class _Progress:
         if now - self._last < self.interval:
             return
         self._last = now
-        print(
-            f"[partitioned] t={sim_time:.6f}s "
-            f"tasks={executed}/{self.total} windows={windows}",
-            file=sys.stderr,
-            flush=True,
-        )
+        self._emit(sim_time, executed, windows)
+
+    def final(self, sim_time: float, executed: int, windows: int) -> None:
+        """The end-of-run beat, emitted regardless of the interval."""
+        if not self.enabled:
+            return
+        self._emit(sim_time, executed, windows)
 
 
 def _merge_fragments(frags: list, backend: str, num_nodes: int):
@@ -433,18 +617,38 @@ def _attempt(job: dict, pcfg, owner: tuple, progress, attempt: int):
         "fork" if "fork" in methods else None
     )
     job = dict(job, attempt=attempt)
+    batch = pcfg.window_batch
     conns: list = []
     procs: list = []
+    peer_conns: list = []
     try:
+        # Pairwise worker pipes for self-synchronized batches: one
+        # duplex pipe per worker pair, built before any fork so every
+        # child can close the endpoints it does not own (see
+        # ``_worker_main`` — prompt EOF on peer death depends on it).
+        peer_rows = None
+        if batch > 1 and P > 1:
+            peer_rows = [[None] * P for _ in range(P)]
+            for i in range(P):
+                for j in range(i + 1, P):
+                    a, b = mp_ctx.Pipe(True)
+                    peer_rows[i][j] = a
+                    peer_rows[j][i] = b
+                    peer_conns.extend((a, b))
         for wid in range(P):
             parent, child = mp_ctx.Pipe()
             proc = mp_ctx.Process(
-                target=_worker_main, args=(wid, job, child), daemon=True
+                target=_worker_main,
+                args=(wid, job, child, peer_rows),
+                daemon=True,
             )
             proc.start()
             child.close()
             conns.append(parent)
             procs.append(proc)
+        for c in peer_conns:
+            c.close()
+        peer_conns = []
 
         heartbeat = pcfg.heartbeat_timeout
 
@@ -463,6 +667,46 @@ def _attempt(job: dict, pcfg, owner: tuple, progress, attempt: int):
             if msg[0] == "error":
                 _raise_worker_error(msg, job)
             return msg
+
+        def recv_all(tag: str) -> list:
+            """One message of kind ``tag`` from every worker, any order.
+
+            Waits on all remaining pipes at once so a crashed worker's
+            EOF surfaces promptly even while its peers block in a
+            worker-to-worker exchange (they report nothing until the
+            fleet is torn down).
+            """
+            got: dict = {}
+            remaining = {wid: conns[wid] for wid in range(P)}
+            while remaining:
+                ready = multiprocessing.connection.wait(
+                    list(remaining.values()), timeout=heartbeat
+                )
+                if not ready:
+                    raise _WorkerDied(
+                        f"fleet silent for {heartbeat:.0f}s "
+                        f"(heartbeat timeout)"
+                    )
+                for rconn in ready:
+                    wid = next(
+                        w for w, c in remaining.items() if c is rconn
+                    )
+                    try:
+                        msg = rconn.recv()
+                    except EOFError:
+                        raise _WorkerDied(
+                            f"worker {wid} pipe closed (process crashed?)"
+                        ) from None
+                    if msg[0] == "error":
+                        _raise_worker_error(msg, job)
+                    if msg[0] != tag:  # pragma: no cover - defensive
+                        raise RuntimeBackendError(
+                            f"worker {wid}: expected {tag}, "
+                            f"got {msg[0]!r}"
+                        )
+                    got[wid] = msg
+                    del remaining[wid]
+            return [got[wid] for wid in range(P)]
 
         def collect_state():
             t_nexts = [math.inf] * P
@@ -514,45 +758,86 @@ def _attempt(job: dict, pcfg, owner: tuple, progress, attempt: int):
 
         reporter = _Progress(progress, total)
         windows = 0
-        while True:
-            lows = list(t_nexts)
-            for per_worker in notices_for:
-                lows.extend(notice[0] for notice in per_worker)
-            earliest = min(lows)
-            if earliest == math.inf:
-                break
-            horizon = earliest + lookahead
-            if horizon == math.inf:
-                horizon = None  # single-node world: run to exhaustion
-            for wid, conn in enumerate(conns):
-                conn.send(("advance", notices_for[wid], horizon))
-            windows += 1
-            records: list = []
-            for wid in range(P):
-                msg = recv(wid)
-                if msg[0] != "sent":  # pragma: no cover - defensive
-                    raise RuntimeBackendError(
-                        f"worker {wid}: expected sent, got {msg[0]!r}"
-                    )
-                records.extend(msg[2])
-            # Canonical global order: stable-sort by injection time over
-            # the worker-order concatenation.  Each worker's outbox is in
-            # its local send-call order, so exact-time ties replay in that
-            # order (= the serial kernel's execution order, exactly so for
-            # P=1) rather than in source-rank order, which diverges from
-            # serial whenever several nodes send at the same timestamp.
-            records.sort(key=lambda rec: rec.inject)
-            buckets: list = [[] for _ in range(P)]
-            for pos, rec in enumerate(records):
-                buckets[owner[rec.dst]].append((pos, rec))
-            for wid, conn in enumerate(conns):
-                conn.send(("deliver", windows, buckets[wid]))
-            t_nexts, notices_for, executed = collect_state()
-            reporter.tick(
-                earliest if horizon is None else horizon,
-                sum(executed),
-                windows,
-            )
+        roundtrips = 1  # the bootstrap deliver/state exchange
+        last_t = 0.0
+        if batch > 1:
+            # Batched sync windows: grant each worker up to
+            # ``window_batch`` windows per round-trip; the fleet
+            # self-synchronizes through the pairwise pipes (records and
+            # notices never transit the coordinator) and reports back
+            # once per batch with the jointly computed next horizon.
+            earliest = min(t_nexts)
+            if earliest != math.inf:
+                horizon = earliest + lookahead
+                if horizon == math.inf:
+                    horizon = None  # single-node world
+                while True:
+                    for conn in conns:
+                        conn.send(("batch", horizon, batch))
+                    roundtrips += 1
+                    reports = recv_all("batch-done")
+                    done = {msg[2] for msg in reports}
+                    horizons = {msg[4] for msg in reports}
+                    quiet = {msg[5] for msg in reports}
+                    if (
+                        len(done) != 1
+                        or len(horizons) != 1
+                        or len(quiet) != 1
+                    ):  # pragma: no cover - defensive
+                        raise RuntimeBackendError(
+                            f"workers disagree on batch outcome: "
+                            f"windows={sorted(done)} "
+                            f"horizons={sorted(horizons, key=repr)} "
+                            f"quiescent={sorted(quiet)}"
+                        )
+                    windows += done.pop()
+                    executed = [msg[3] for msg in reports]
+                    next_h = horizons.pop()
+                    if next_h is not None:
+                        last_t = next_h
+                    reporter.tick(last_t, sum(executed), windows)
+                    if quiet.pop():
+                        break
+                    horizon = next_h
+        else:
+            while True:
+                lows = list(t_nexts)
+                for per_worker in notices_for:
+                    lows.extend(notice[0] for notice in per_worker)
+                earliest = min(lows)
+                if earliest == math.inf:
+                    break
+                horizon = earliest + lookahead
+                if horizon == math.inf:
+                    horizon = None  # single-node world: run to exhaustion
+                for wid, conn in enumerate(conns):
+                    conn.send(("advance", notices_for[wid], horizon))
+                windows += 1
+                roundtrips += 2
+                records: list = []
+                for wid in range(P):
+                    msg = recv(wid)
+                    if msg[0] != "sent":  # pragma: no cover - defensive
+                        raise RuntimeBackendError(
+                            f"worker {wid}: expected sent, got {msg[0]!r}"
+                        )
+                    records.extend(msg[2])
+                # Canonical global order: the (inject, src, seq) total
+                # order.  The serial fabric defers destination-NIC
+                # ejection to the end of each injecting epoch and flushes
+                # in exactly this key order, so same-timestamp
+                # cross-partition arrivals at one NIC resolve identically
+                # in both engines *by construction* — no partition needs
+                # to observe the serial execution order.
+                records.sort(key=WIRE_MERGE_KEY)
+                buckets: list = [[] for _ in range(P)]
+                for pos, rec in enumerate(records):
+                    buckets[owner[rec.dst]].append((pos, rec))
+                for wid, conn in enumerate(conns):
+                    conn.send(("deliver", windows, buckets[wid]))
+                t_nexts, notices_for, executed = collect_state()
+                last_t = earliest if horizon is None else horizon
+                reporter.tick(last_t, sum(executed), windows)
 
         if sum(executed) != total:
             raise RuntimeBackendError(
@@ -560,6 +845,7 @@ def _attempt(job: dict, pcfg, owner: tuple, progress, attempt: int):
                 f"{sum(executed)}/{total} tasks executed — cross-partition "
                 f"deadlock or lost message"
             )
+        reporter.final(last_t, sum(executed), windows)
         for conn in conns:
             conn.send(("stop",))
         frags = []
@@ -570,13 +856,30 @@ def _attempt(job: dict, pcfg, owner: tuple, progress, attempt: int):
                     f"worker {wid}: expected fragment, got {msg[0]!r}"
                 )
             frags.append(msg[2])
-        return _merge_fragments(
+        stats = _merge_fragments(
             frags, backend=job["backend"], num_nodes=job["num_nodes"]
         )
+        # Engine telemetry, deliberately NOT a RunStats field: the typed
+        # result stays bit-comparable with serial runs (dataclasses.
+        # asdict never sees it), while tooling that wants the sync-layer
+        # numbers reads the attribute off the instance.
+        stats.partition_sync = {
+            "partitions": P,
+            "window_batch": batch,
+            "sync_windows": windows,
+            "coordinator_roundtrips": roundtrips,
+            "progress_beats": reporter.beats,
+        }
+        return stats
     finally:
         for conn in conns:
             try:
                 conn.close()
+            except Exception:
+                pass
+        for c in peer_conns:
+            try:
+                c.close()
             except Exception:
                 pass
         for proc in procs:
@@ -604,10 +907,10 @@ def run_partitioned_graph(
     The partitioned twin of the serial path in
     :func:`repro.workloads.runner.run_graph_benchmark`: same builder,
     same platform defaulting, bit-identical
-    :class:`~repro.runtime.context.RunStats` out (modulo
-    ``events_processed``, which counts kernel bookkeeping events and
-    differs by construction — partitioned completions are
-    delivery-driven).
+    :class:`~repro.runtime.context.RunStats` out, field for field —
+    ``events_processed`` included, since the serial fabric now defers
+    wire ejection to end of epoch and replays the same
+    ``(inject, src, seq)`` order this engine's coordinator merge uses.
 
     ``partitions`` is an ``int`` or a :class:`~repro.config.
     PartitionConfig`; ``guards`` install per worker (budgets are
@@ -627,6 +930,17 @@ def run_partitioned_graph(
             "run_partitioned_graph requires partitions (an int >= 1 or a "
             "PartitionConfig)"
         )
+    env_batch = os.environ.get("REPRO_PARTITION_WINDOW_BATCH")
+    if env_batch:
+        import dataclasses as _dc
+
+        try:
+            pcfg = _dc.replace(pcfg, window_batch=int(env_batch))
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_PARTITION_WINDOW_BATCH must be an int >= 1 "
+                f"(got {env_batch!r})"
+            ) from None
     if faults is not None and getattr(faults, "enabled", False):
         raise ConfigError(
             "fault injection is not supported in partitioned runs (the "
@@ -656,6 +970,7 @@ def run_partitioned_graph(
         "guards": guards,
         "ctx_kwargs": kwargs,
         "num_nodes": num_nodes,
+        "lookahead_override": pcfg.lookahead,
         "attempt": 0,
     }
     backoff = BackoffPolicy(base=0.05, factor=2.0, max_delay=2.0)

@@ -123,7 +123,7 @@ def _graph_result(
     result record (shared by the serial and partitioned paths)."""
     from repro.analysis.stats import summarize
 
-    return GraphBenchResult(
+    result = GraphBenchResult(
         config=cfg,
         backend=backend,
         workload=workload,
@@ -136,6 +136,13 @@ def _graph_result(
         worker_utilization=stats.worker_utilization,
         events_processed=stats.events_processed,
     )
+    # Partitioned runs attach sync-protocol telemetry (window counts,
+    # coordinator round-trips) as an undeclared attribute so
+    # dataclasses.asdict() fingerprints stay comparable with serial runs.
+    sync = getattr(stats, "partition_sync", None)
+    if sync is not None:
+        result.partition_sync = sync
+    return result
 
 
 def freeze_graph_result(raw: GraphBenchResult, backend: str):
@@ -144,7 +151,7 @@ def freeze_graph_result(raw: GraphBenchResult, backend: str):
     registered scenario workload)."""
     from repro.api import GraphResult
 
-    return GraphResult(
+    result = GraphResult(
         workload=raw.workload,
         backend=backend,
         makespan=raw.makespan,
@@ -155,3 +162,9 @@ def freeze_graph_result(raw: GraphBenchResult, backend: str):
         worker_utilization=raw.worker_utilization,
         events_processed=raw.events_processed,
     )
+    sync = getattr(raw, "partition_sync", None)
+    if sync is not None:
+        # GraphResult is frozen; telemetry rides along undeclared so
+        # asdict() fingerprints stay engine-agnostic.
+        object.__setattr__(result, "partition_sync", sync)
+    return result

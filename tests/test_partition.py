@@ -1,12 +1,14 @@
 """Partitioned PDES engine: horizon algorithm, supervision, and the
 unified ``partitions=`` API surface.
 
-The bit-identity matrix itself (every catalog workload, both backends,
+The full bit-identity matrix (every catalog workload, both backends,
 partitions ∈ {1, 2, 4}) lives in ``tools/check_fault_determinism.py`` and
 ``tools/bench_ab.py``; here we cover the horizon algorithm's edge cases
 (zero-latency self-channels, route invalidation across a partition
-boundary), worker-death salvage, guard-abort parity, and the
-``build_simulator`` deprecation shim.
+boundary), worker-death salvage, guard-abort parity, the
+``build_simulator`` deprecation shim, the deterministic ``(inject, src,
+seq)`` NIC tie-break, the NIC-collision workloads, and the batched
+sync-window protocol (``PartitionConfig.window_batch``).
 """
 
 import dataclasses
@@ -211,8 +213,126 @@ class TestPartitionsApiSurface:
                       grid=4, steps=4)
         serial = dataclasses.asdict(Experiment(**kwargs).run())
         part = dataclasses.asdict(Experiment(partitions=2, **kwargs).run())
-        # Kernel event counts differ by construction (delivery-driven
-        # completions); every simulated outcome must not.
-        serial.pop("events_processed")
-        part.pop("events_processed")
+        # Full-record equality, events_processed included: both engines
+        # schedule the identical kernel event set now that wire ejection
+        # is deferred to end of epoch and replayed in (inject, src, seq)
+        # order in either engine.
         assert part == serial
+
+    @pytest.mark.parametrize("workload,partitions", [
+        ("alltoall", 4),
+        ("taskbench", 2),
+        ("taskbench", 4),
+    ])
+    def test_collision_workloads_bit_identical_on_lci(
+        self, workload, partitions
+    ):
+        # alltoall/taskbench pile many same-timestamp cross-partition
+        # sends onto single destination NICs — the exact tie the
+        # (inject, src, seq) ejection order exists to break.
+        kwargs = dict(workload=workload, backend="lci", nodes=4, seed=3)
+        serial = dataclasses.asdict(Experiment(**kwargs).run())
+        part = dataclasses.asdict(
+            Experiment(partitions=partitions, **kwargs).run()
+        )
+        assert part == serial
+
+
+class TestWindowBatch:
+    def test_window_batch_validation(self):
+        for bad in (0, -1, True, 1.5, "8"):
+            with pytest.raises(ConfigError):
+                PartitionConfig(partitions=2, window_batch=bad)
+
+    def test_codec_roundtrip_carries_window_batch(self):
+        pcfg = PartitionConfig(partitions=4, window_batch=7)
+        assert PartitionConfig.from_dict(pcfg.to_dict()) == pcfg
+        assert pcfg.to_dict()["window_batch"] == 7
+
+    def test_batched_matches_classic_with_fewer_roundtrips(self):
+        # The batched sync protocol must change only the transport
+        # (pairwise worker pipes instead of coordinator round-trips),
+        # never the simulation: full-record bit-identity, with
+        # coordinator contact cut by roughly 2x the batch length.
+        kwargs = dict(workload="stencil", backend="lci", nodes=4,
+                      grid=4, steps=4)
+        classic = Experiment(
+            partitions=PartitionConfig(partitions=2, window_batch=1),
+            **kwargs,
+        ).run()
+        batched = Experiment(
+            partitions=PartitionConfig(partitions=2, window_batch=64),
+            **kwargs,
+        ).run()
+        assert dataclasses.asdict(batched) == dataclasses.asdict(classic)
+        c_sync, b_sync = classic.partition_sync, batched.partition_sync
+        assert c_sync["sync_windows"] == b_sync["sync_windows"]
+        assert c_sync["coordinator_roundtrips"] >= 2 * c_sync["sync_windows"]
+        assert (
+            b_sync["coordinator_roundtrips"]
+            <= c_sync["coordinator_roundtrips"] / 10
+        )
+
+    def test_env_override_applies_per_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARTITION_WINDOW_BATCH", "3")
+        result = Experiment(
+            workload="ring", backend="lci", nodes=4, steps=8, partitions=2,
+        ).run()
+        assert result.partition_sync["window_batch"] == 3
+
+    def test_env_override_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARTITION_WINDOW_BATCH", "lots")
+        with pytest.raises(ConfigError):
+            Experiment(
+                workload="ring", backend="lci", nodes=4, partitions=2,
+            ).run()
+
+    def test_serial_result_has_no_sync_telemetry(self):
+        result = Experiment(
+            workload="ring", backend="lci", nodes=4, steps=8,
+        ).run()
+        assert not hasattr(result, "partition_sync")
+        # And the telemetry never leaks into the comparable fingerprint.
+        part = Experiment(
+            workload="ring", backend="lci", nodes=4, steps=8, partitions=2,
+        ).run()
+        assert "partition_sync" not in dataclasses.asdict(part)
+
+
+class TestNicTieBreak:
+    def _deliveries(self, send_order):
+        """Send two same-timestamp wire messages into one NIC from two
+        source ranks (in ``send_order``), then eject in canonical order;
+        return the per-source delivery times."""
+        from repro.network.fabric import WIRE_MERGE_KEY
+        from repro.network.message import MessageClass, WireMessage
+
+        owner = partition_owner(4, 2)
+        send_fab = PartitionFabric(
+            Simulator(), 4, owner=owner, local_partition=0
+        )
+        recv_fab = PartitionFabric(
+            Simulator(), 4, owner=owner, local_partition=1
+        )
+        for node in range(4):
+            send_fab.register_handler(node, "t", lambda msg: None)
+            recv_fab.register_handler(node, "t", lambda msg: None)
+        for src in send_order:
+            send_fab.send(WireMessage(
+                src=src, dst=2, size=4096,
+                msg_class=MessageClass.CONTROL, channel="t",
+            ))
+        records = sorted(send_fab.take_outbox(), key=WIRE_MERGE_KEY)
+        assert [r.src for r in records] == sorted(send_order)
+        assert len({r.inject for r in records}) == 1  # a genuine tie
+        out = {}
+        for rec in records:
+            _msg, deliver, when, _handler = recv_fab.eject_delivery(rec)
+            out[rec.src] = (deliver, when)
+        return out
+
+    def test_equal_timestamp_ejection_order_is_canonical(self):
+        # Destination-NIC ejection is order-sensitive (receiver
+        # contention); the canonical (inject, src, seq) order must make
+        # the outcome independent of which source's send() ran first.
+        assert self._deliveries([0, 1]) == self._deliveries([1, 0])

@@ -14,18 +14,24 @@ and compares the two cores on identical workloads:
   reports the full-stack events/second delta.
 - **partition** — a catalog workload run serially and under the
   partitioned PDES engine (``partitions`` ∈ {2, 4}); asserts the
-  SHA-256 fingerprint of the complete typed result (every field except
-  the kernel event count, which partitioning changes by construction)
-  is **bit-identical** per partition count, and reports min-of-N
-  events/second for each engine.
+  SHA-256 fingerprint of the complete typed result — every field,
+  ``events_processed`` included — is **bit-identical** per partition
+  count, and reports min-of-N events/second for each engine.
 
 Any fingerprint divergence exits 1 — the batched kernel's contract is
 "same execution, faster", the partitioned engine's is "same results,
 more processes", and this harness is the enforcement.
 
+``--partition-batch`` runs a dedicated fourth mode instead: the batched
+sync-window protocol (``PartitionConfig.window_batch``, default) against
+the classic two-round-trip-per-window coordinator protocol
+(``window_batch=1``) — fingerprints must be bit-identical, and the
+report shows walls plus the coordinator round-trip reduction.
+
 Run as::
 
     python tools/bench_ab.py [--smoke] [--reps 3] [--backend mpi|lci|both]
+        [--partition-batch]
 
 ``--smoke`` shrinks both workloads to seconds of wall time (used by the
 test suite); the default sizes give stable ratios for the performance
@@ -106,10 +112,10 @@ def _run_stack(backend: str, layers: list) -> dict:
 def _run_partition(backend: str, partitions, scale: dict) -> dict:
     """One catalog-workload run, serial or partitioned, fingerprinted.
 
-    The fingerprint hashes the full typed result minus the kernel event
-    count: partitioned backends complete sends inline at delivery rather
-    than via separately scheduled events, so ``events_processed`` differs
-    from serial by construction while every simulated outcome must not.
+    The fingerprint hashes the full typed result — ``events_processed``
+    included.  Serial and partitioned engines schedule the identical
+    kernel event set now that wire ejection is deferred to end of epoch
+    and replayed in ``(inject, src, seq)`` order in both.
     """
     import dataclasses
 
@@ -122,11 +128,18 @@ def _run_partition(backend: str, partitions, scale: dict) -> dict:
     ).run()
     wall = time.perf_counter() - t0
     doc = dataclasses.asdict(result)
-    events = doc.pop("events_processed", 0)
+    events = doc.get("events_processed", 0)
     digest = hashlib.sha256(
         json.dumps(doc, sort_keys=True, default=repr).encode()
     ).hexdigest()
-    return {"fingerprint": digest, "events": events, "wall": wall}
+    return {
+        "fingerprint": digest,
+        "events": events,
+        "wall": wall,
+        # Sync-protocol telemetry (partitioned runs only) rides outside
+        # the fingerprint: it describes the transport, not the simulation.
+        "sync": getattr(result, "partition_sync", None),
+    }
 
 
 def _child_main(spec: dict) -> int:
@@ -145,8 +158,8 @@ def _child_main(spec: dict) -> int:
 # parent side: spawn per-core children, compare
 # ----------------------------------------------------------------------
 
-def _spawn(core: str, spec: dict) -> dict:
-    env = dict(os.environ, REPRO_SIM_CORE=core)
+def _spawn(core: str, spec: dict, extra_env: dict | None = None) -> dict:
+    env = dict(os.environ, REPRO_SIM_CORE=core, **(extra_env or {}))
     proc = subprocess.run(
         [sys.executable, __file__, "--child", json.dumps(spec)],
         capture_output=True,
@@ -177,6 +190,12 @@ def main(argv=None) -> int:
     ap.add_argument("--reps", type=int, default=3,
                     help="micro-benchmark repetitions per core (min-of-N)")
     ap.add_argument("--backend", choices=["mpi", "lci", "both"], default="both")
+    ap.add_argument(
+        "--partition-batch", action="store_true",
+        help="A/B the batched sync-window protocol (window_batch=default) "
+             "against the classic two-round-trip-per-window protocol "
+             "(window_batch=1): fingerprints must match, walls and "
+             "coordinator round-trips are reported; runs only this mode")
     ap.add_argument("--child", help=argparse.SUPPRESS)
     args = ap.parse_args(argv)
 
@@ -193,6 +212,61 @@ def main(argv=None) -> int:
                  "params": {"grid": 16, "steps": 16}}
     backends = ["mpi", "lci"] if args.backend == "both" else [args.backend]
     failed = False
+
+    if args.partition_batch:
+        # Dedicated A/B of the sync-window transport: classic
+        # (window_batch=1, two coordinator round-trips per window) vs the
+        # default batched protocol.  Same simulation, fewer round-trips.
+        for backend in backends:
+            base = {"workload": "partition", "backend": backend,
+                    "scale": scale}
+            serial = min(
+                (_spawn("batched", dict(base, partitions=None))
+                 for _ in range(reps)),
+                key=lambda r: r["wall"],
+            )
+            for count in (2, 4):
+                sides = {}
+                for side, env in (
+                    ("classic", {"REPRO_PARTITION_WINDOW_BATCH": "1"}),
+                    ("batched", {}),
+                ):
+                    sides[side] = min(
+                        (_spawn("batched", dict(base, partitions=count), env)
+                         for _ in range(reps)),
+                        key=lambda r: r["wall"],
+                    )
+                prints = {s: r["fingerprint"] for s, r in sides.items()}
+                if len({serial["fingerprint"], *prints.values()}) != 1:
+                    failed = True
+                    print(
+                        f"FAIL [{backend}] partitions={count}: sync "
+                        f"protocols diverge:\n"
+                        f"  serial  {serial['fingerprint']}\n"
+                        f"  classic {prints['classic']}\n"
+                        f"  batched {prints['batched']}"
+                    )
+                    continue
+                rts = {s: r["sync"]["coordinator_roundtrips"]
+                       for s, r in sides.items()}
+                print(
+                    f"batch  [{backend}] P={count} "
+                    f"(windows={sides['batched']['sync']['sync_windows']:,}, "
+                    f"fingerprint {serial['fingerprint'][:12]}..., "
+                    f"best of {reps}): bit-identical; "
+                    f"classic {rts['classic']:,} RTs "
+                    f"{sides['classic']['wall']:.2f}s, "
+                    f"batched {rts['batched']:,} RTs "
+                    f"{sides['batched']['wall']:.2f}s "
+                    f"-> {rts['classic'] / rts['batched']:.1f}x fewer "
+                    f"round-trips, "
+                    f"{sides['classic']['wall'] / sides['batched']['wall']:.2f}x "
+                    f"wall"
+                )
+        if failed:
+            return 1
+        print("bench_ab OK: sync-window protocols bit-identical")
+        return 0
 
     micro_spec = {"workload": "micro", "events": micro_events}
     rates = {c: _best_events_per_sec(c, micro_spec, reps) for c in CORES}

@@ -20,11 +20,14 @@ the same runnable sets the schedule was recorded against.
 
 Finally checks the partitioned PDES engine's bit-identity contract: a
 4-node workload run serially and with ``partitions`` ∈ {1, 2, 4} must
-produce identical results field for field (``events_processed`` is
-excluded by construction — partitioned backends complete sends inline
-at delivery rather than via separately scheduled completion events, so
-the kernel event *count* differs while every observable outcome does
-not).
+produce identical results field for field — *including*
+``events_processed``, since both engines now schedule the identical
+kernel event set (wire ejections are deferred to end of epoch and
+replayed in ``(inject, src, seq)`` order in either engine).  On the
+LCI backend the sweep always includes the ``alltoall`` and
+``taskbench`` collision workloads, which drive many same-timestamp
+cross-partition sends into one NIC — the exact tie the deterministic
+merge key exists to break.
 
 Run as::
 
@@ -98,14 +101,20 @@ def check_schedule_replay(path: Path) -> list[str]:
 
 PARTITION_COUNTS = (1, 2, 4)
 
+# Workloads whose communication patterns pile many same-timestamp
+# cross-partition sends onto a single destination NIC — regression
+# guards for the deterministic (inject, src, seq) ejection order.
+# Always swept on the LCI backend, whose hardware-queue model is the
+# most tie-sensitive.
+COLLISION_WORKLOADS = ("alltoall", "taskbench")
+
 
 def partition_fingerprint(backend: str, workload: str, partitions) -> dict:
     """Run a 4-node catalog workload; return its full comparable result.
 
-    ``events_processed`` is dropped: the partitioned engine applies
-    send completions inline at delivery time instead of scheduling
-    separate kernel events, so the event count differs from serial by
-    construction while every simulated outcome is identical.
+    Every field is compared, ``events_processed`` included: serial and
+    partitioned engines schedule the identical kernel event set now
+    that wire ejection is deferred to end of epoch in both.
     """
     import dataclasses
 
@@ -115,9 +124,7 @@ def partition_fingerprint(backend: str, workload: str, partitions) -> dict:
         workload=workload, backend=backend, nodes=4, seed=3,
         partitions=partitions,
     ).run()
-    doc = dataclasses.asdict(result)
-    doc.pop("events_processed", None)
-    return doc
+    return dataclasses.asdict(result)
 
 
 def check_partitions(backend: str, workload: str) -> list:
@@ -139,10 +146,12 @@ def main(argv=None) -> int:
         Path(__file__).resolve().parent.parent
         / "tests" / "data" / "schedule_pingpong.json"))
     ap.add_argument(
-        "--partition-workload", default="stencil",
-        help="4-node catalog workload for the partitioned bit-identity "
-             "check (must not hit the same-timestamp cross-partition "
-             "tie limitation; see docs/performance.md)")
+        "--partition-workload", action="append", default=None,
+        metavar="NAME",
+        help="4-node catalog workload(s) for the partitioned "
+             "bit-identity check (repeatable; default: stencil, plus "
+             "the NIC-collision workloads "
+             f"{'/'.join(COLLISION_WORKLOADS)} on the lci backend)")
     args = ap.parse_args(argv)
     backends = ["mpi", "lci"] if args.backend == "both" else [args.backend]
     failed = False
@@ -176,20 +185,26 @@ def main(argv=None) -> int:
         else:
             print(f"ok [{backend}]: disabled plan is bit-identical to no plan")
 
-        problems = check_partitions(backend, args.partition_workload)
-        if problems:
-            failed = True
-            print(
-                f"FAIL [{backend}] workload={args.partition_workload!r}: "
-                f"partitioned run diverged from serial:"
-            )
-            print("\n".join(problems))
-        else:
-            counts = ", ".join(str(c) for c in PARTITION_COUNTS)
-            print(
-                f"ok [{backend}] workload={args.partition_workload!r}: "
-                f"partitions {{{counts}}} bit-identical to serial"
-            )
+        workloads = list(args.partition_workload or ["stencil"])
+        if backend == "lci":
+            workloads += [
+                wl for wl in COLLISION_WORKLOADS if wl not in workloads
+            ]
+        for workload in workloads:
+            problems = check_partitions(backend, workload)
+            if problems:
+                failed = True
+                print(
+                    f"FAIL [{backend}] workload={workload!r}: "
+                    f"partitioned run diverged from serial:"
+                )
+                print("\n".join(problems))
+            else:
+                counts = ", ".join(str(c) for c in PARTITION_COUNTS)
+                print(
+                    f"ok [{backend}] workload={workload!r}: "
+                    f"partitions {{{counts}}} bit-identical to serial"
+                )
 
     problems = check_schedule_replay(Path(args.schedule))
     if problems:

@@ -24,7 +24,12 @@ speedup over the serial run is recorded next to the ``--speedup-target``
 (the paper-point goal on a multi-core host; on a single-core host the
 measured value is honestly below 1 — the gate only *fails* when
 ``--enforce-speedup`` is passed, so CI boxes without real parallelism
-record the number without lying about it).
+record the number without lying about it).  The partitioned record also
+captures the sync-protocol telemetry — ``sync_windows``,
+``coordinator_roundtrips``, and the ``window_batch`` in effect (override
+with ``--window-batch``; 1 reproduces the classic
+two-round-trip-per-window protocol) — and the gate requires at least one
+coordinator progress beat.
 
 Results land in ``BENCH_scale.json`` next to the repo root (build seconds,
 peak RSS, tasks/flows, and — with ``--full`` — the end-to-end simulated
@@ -40,7 +45,8 @@ Run as::
 
     python tools/check_paper_scale_budget.py [--full] [--nodes 16]
         [--tile 2400] [--build-budget 60] [--rss-budget 4.0]
-        [--partitions 4] [--wall-budget 1800] [--out PATH]
+        [--partitions 4] [--window-batch K] [--wall-budget 1800]
+        [--out PATH]
 """
 
 from __future__ import annotations
@@ -134,23 +140,31 @@ def _peak_rss_with_children() -> int:
     return max(peak_rss_bytes(), child)
 
 
-def full_run(nodes: int, tile: int, partitions=None) -> dict:
+def full_run(nodes: int, tile: int, partitions=None, window_batch=None) -> dict:
     """Simulate the paper-scale point end to end; return run metrics.
 
     With ``partitions`` set the run executes under the partitioned PDES
-    engine (bit-identical results) and the peak-RSS figure includes the
-    worker child processes.
+    engine (bit-identical results), the peak-RSS figure includes the
+    worker child processes, and the record carries the sync-protocol
+    telemetry (``sync_windows``, ``coordinator_roundtrips``,
+    ``window_batch``).  ``window_batch`` overrides the batched sync
+    protocol's default batch length (1 = classic per-window protocol).
     """
     from repro.bench.hicma_bench import HicmaConfig, run_hicma_benchmark
-    from repro.config import expanse_platform
+    from repro.config import PartitionConfig, expanse_platform
     from repro.obs.progress import ProgressReporter
 
     cfg = HicmaConfig(matrix_size=PAPER_N, tile_size=tile, num_nodes=nodes)
+    pcfg = partitions
+    if partitions and window_batch is not None:
+        pcfg = PartitionConfig(
+            partitions=int(partitions), window_batch=int(window_batch)
+        )
     reporter = ProgressReporter(interval=10.0, stream=sys.stderr)
     t0 = time.perf_counter()
     result = run_hicma_benchmark(
         "lci", cfg, expanse_platform(num_nodes=nodes), progress=reporter,
-        partitions=partitions,
+        partitions=pcfg,
     )
     wall = time.perf_counter() - t0
     rss = _peak_rss_with_children() if partitions else peak_rss_bytes()
@@ -168,6 +182,11 @@ def full_run(nodes: int, tile: int, partitions=None) -> dict:
     }
     if partitions:
         doc["partitions"] = int(partitions)
+        sync = getattr(result, "partition_sync", None)
+        if sync is not None:
+            doc["window_batch"] = sync["window_batch"]
+            doc["sync_windows"] = sync["sync_windows"]
+            doc["coordinator_roundtrips"] = sync["coordinator_roundtrips"]
     return doc
 
 
@@ -190,6 +209,11 @@ def main(argv=None) -> int:
     ap.add_argument("--partitions", type=int, default=None, metavar="P",
                     help="also run the --full point under the partitioned "
                          "PDES engine with P workers and gate it")
+    ap.add_argument("--window-batch", type=int, default=None, metavar="K",
+                    help="sync windows per coordinator round-trip for the "
+                         "partitioned run (default: PartitionConfig's "
+                         "batched protocol; 1 = classic per-window "
+                         "protocol)")
     ap.add_argument("--wall-budget", type=float, default=1800.0,
                     help="max wall-clock seconds for a --full run")
     ap.add_argument("--speedup-target", type=float, default=1.5,
@@ -266,7 +290,10 @@ def main(argv=None) -> int:
         if args.partitions:
             import os
 
-            prun = full_run(args.nodes, args.tile, partitions=args.partitions)
+            prun = full_run(
+                args.nodes, args.tile, partitions=args.partitions,
+                window_batch=args.window_batch,
+            )
             speedup = run["run_wall_seconds"] / prun["run_wall_seconds"]
             prun["speedup_vs_serial"] = round(speedup, 3)
             prun["speedup_target"] = args.speedup_target
@@ -276,6 +303,12 @@ def main(argv=None) -> int:
                 problems.append(
                     f"partitioned makespan {prun['makespan_seconds']!r} != "
                     f"serial {run['makespan_seconds']!r} (bit-identity broken)"
+                )
+            if prun["progress_beats"] < 1:
+                problems.append(
+                    "partitioned run recorded 0 progress beats (the "
+                    "coordinator reporter must emit at least the "
+                    "end-of-run beat)"
                 )
             if prun["peak_rss_gib"] > args.rss_budget:
                 problems.append(
@@ -303,10 +336,14 @@ def main(argv=None) -> int:
                     f"(< {args.speedup_target:.2f}x target)"
                 )
             print(
-                f"partitioned run (P={args.partitions}): makespan "
+                f"partitioned run (P={args.partitions}, "
+                f"window_batch={prun.get('window_batch', '?')}): makespan "
                 f"{prun['makespan_seconds']:.1f}s (bit-identical) in "
                 f"{prun['run_wall_seconds']:.0f}s wall "
-                f"({per_worker:,.0f} ev/s per worker), peak RSS "
+                f"({per_worker:,.0f} ev/s per worker, "
+                f"{prun.get('sync_windows', 0):,} windows over "
+                f"{prun.get('coordinator_roundtrips', 0):,} coordinator "
+                f"round-trips), peak RSS "
                 f"{prun['peak_rss_gib']:.2f} GiB -> speedup "
                 f"{speedup:.2f}x vs serial (target "
                 f"{args.speedup_target:.1f}x, {prun['host_cpus']} host cpus)"
